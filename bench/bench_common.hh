@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared defaults for the paper-reproduction bench binaries: a common
+ * run length (overridable via REPRO_INSTRUCTIONS) and table helpers.
+ */
+
+#ifndef STSIM_BENCH_BENCH_COMMON_HH
+#define STSIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "core/sim_config.hh"
+#include "core/sim_results.hh"
+
+namespace stsim::bench
+{
+
+/** Default measured instructions per run for the bench harnesses. */
+inline constexpr std::uint64_t kBenchInstructions = 500'000;
+
+/** Base configuration all bench binaries start from. */
+inline SimConfig
+benchConfig()
+{
+    SimConfig cfg;
+    cfg.maxInstructions = kBenchInstructions;
+    cfg.warmupInstructions = 150'000;
+    cfg.applyEnvOverrides();
+    return cfg;
+}
+
+/** Append the paper's four metrics as table cells. */
+inline std::vector<std::string>
+metricCells(const std::string &label, const RelativeMetrics &m)
+{
+    return {label, TextTable::num(m.speedup, 3),
+            TextTable::pct(m.powerSavings),
+            TextTable::pct(m.energySavings),
+            TextTable::pct(m.edImprovement)};
+}
+
+/** Standard header for speedup/power/energy/E-D tables. */
+inline std::vector<std::string>
+metricHeader(const std::string &first)
+{
+    return {first, "speedup", "power sav", "energy sav", "E-D impr"};
+}
+
+} // namespace stsim::bench
+
+#endif // STSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces §4.3's confidence-estimator quality numbers: the
+ * BPRU-style estimator should land near SPEC = 60% / PVN = 45% and the
+ * JRS estimator (MDC threshold 12) near SPEC = 90% / PVN = 24%,
+ * averaged over the eight benchmarks.
+ *
+ * With --scan, sweeps the BPRU update-rule parameters and prints the
+ * SPEC/PVN landscape (used to derive BpruEstimator::Params defaults).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "core/simulator.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+/** Run one benchmark with an estimator attached but no throttling. */
+SimResults
+runWithEstimator(const std::string &bench, ConfKind kind,
+                 const BpruEstimator::Params &params,
+                 std::uint64_t insts)
+{
+    SimConfig cfg;
+    cfg.applyEnvOverrides();
+    if (insts)
+        cfg.maxInstructions = insts;
+    cfg.benchmark = bench;
+    cfg.confKind = kind;
+    cfg.bpruParams = params;
+    return Simulator(cfg).run();
+}
+
+void
+scanBpru(std::uint64_t insts)
+{
+    std::printf("BPRU parameter scan (avg of 8 benchmarks)\n");
+    std::printf("%8s %8s %8s | %6s %6s\n", "missInc", "corrDec",
+                "alloc", "SPEC", "PVN");
+    for (unsigned inc : {2u, 3u, 4u, 5u, 6u}) {
+        for (unsigned dec : {1u, 2u}) {
+            for (unsigned alloc : {3u, 4u, 5u}) {
+                BpruEstimator::Params p;
+                p.missInc = inc;
+                p.correctDec = dec;
+                p.allocValue = alloc;
+                double spec = 0, pvn = 0;
+                for (const auto &b : Harness::benchmarks()) {
+                    SimResults r =
+                        runWithEstimator(b, ConfKind::Bpru, p, insts);
+                    spec += r.spec;
+                    pvn += r.pvn;
+                }
+                std::printf("%8u %8u %8u | %5.1f%% %5.1f%%\n", inc, dec,
+                            alloc, 100 * spec / 8, 100 * pvn / 8);
+                std::fflush(stdout);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool scan = argc > 1 && std::strcmp(argv[1], "--scan") == 0;
+    if (scan) {
+        scanBpru(argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                          : 300'000);
+        return 0;
+    }
+
+    TextTable t({"bench", "BPRU SPEC", "BPRU PVN", "JRS SPEC",
+                 "JRS PVN"});
+    t.setTitle("Confidence estimator quality (paper 4.3: BPRU "
+               "SPEC=60%/PVN=45%, JRS SPEC=90%/PVN=24%)");
+
+    double bs = 0, bp = 0, js = 0, jp = 0;
+    for (const auto &bench : Harness::benchmarks()) {
+        SimResults rb = runWithEstimator(bench, ConfKind::Bpru,
+                                         BpruEstimator::Params{}, 0);
+        SimResults rj = runWithEstimator(bench, ConfKind::Jrs,
+                                         BpruEstimator::Params{}, 0);
+        t.addRow({bench, TextTable::pct(100 * rb.spec),
+                  TextTable::pct(100 * rb.pvn),
+                  TextTable::pct(100 * rj.spec),
+                  TextTable::pct(100 * rj.pvn)});
+        bs += rb.spec;
+        bp += rb.pvn;
+        js += rj.spec;
+        jp += rj.pvn;
+    }
+    t.addSeparator();
+    t.addRow({"Average", TextTable::pct(100 * bs / 8),
+              TextTable::pct(100 * bp / 8), TextTable::pct(100 * js / 8),
+              TextTable::pct(100 * jp / 8)});
+    t.addRow({"paper", "60.0%", "45.0%", "90.0%", "24.0%"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Figure 1: oracle fetch / decode / select experiments.
+ * Paper reference (averages): oracle fetch saves ~21% power / ~24%
+ * energy / ~28% E-D with ~5% speedup; oracle decode ~13.7% power;
+ * oracle select ~8.7% power.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+int
+main()
+{
+    Harness h(benchConfig());
+
+    TextTable t(metricHeader("experiment"));
+    t.setTitle("Figure 1: oracle fetch/decode/select savings "
+               "(average of 8 benchmarks)");
+    for (const char *name :
+         {"oracle-fetch", "oracle-decode", "oracle-select"}) {
+        auto rows = h.runSuite(Experiment::byName(name));
+        t.addRow(metricCells(name, rows.back().second));
+    }
+    t.addSeparator();
+    t.addRow({"paper oracle-fetch", "1.05", "21%", "24%", "28%"});
+    t.addRow({"paper oracle-decode", "~1.00", "13.7%", "-", "-"});
+    t.addRow({"paper oracle-select", "~1.00", "8.7%", "-", "-"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces Figure 3: the fetch throttling heuristic, experiments
+ * A1-A6 plus Pipeline Gating (A7), per benchmark and averaged.
+ *
+ * Paper reference (averages): A1-A3 slowdown <1% with energy savings
+ * 5.2/6.6/9.2%; A4-A5 ~3% slowdown, ~11.2% energy; A6 12% slowdown
+ * (E-D ~ 0); PG 8% slowdown, 11.0% energy, 3.5% E-D. Best tradeoff:
+ * A5 (11.7% energy, 8.6% E-D).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+int
+main()
+{
+    Harness h(benchConfig());
+
+    for (const Experiment &exp : Experiment::figure3Series()) {
+        TextTable t(metricHeader("benchmark"));
+        t.setTitle("Figure 3 / " + exp.name + ": " + exp.description);
+        for (const auto &[bench, m] : h.runSuite(exp))
+            t.addRow(metricCells(bench, m));
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

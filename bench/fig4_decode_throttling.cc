@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Figure 4: the decode throttling heuristic alone (B1-B3)
+ * and combined with fetch throttling (B4-B8), plus Pipeline Gating
+ * (B9). In every experiment a VLC branch stalls the fetch unit.
+ *
+ * Paper reference (averages): B3 slows ~12% (E-D -5.0%); B2 saves
+ * more energy (8.2%) than B1 (7.1%); B7 tops A5's energy savings
+ * (11.9% vs 11.7%) at lower E-D improvement (7.8% vs 8.6%).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+int
+main()
+{
+    Harness h(benchConfig());
+
+    TextTable avg(metricHeader("experiment"));
+    avg.setTitle("Figure 4 summary (averages over 8 benchmarks)");
+
+    for (const Experiment &exp : Experiment::figure4Series()) {
+        TextTable t(metricHeader("benchmark"));
+        t.setTitle("Figure 4 / " + exp.name + ": " + exp.description);
+        auto rows = h.runSuite(exp);
+        for (const auto &[bench, m] : rows)
+            t.addRow(metricCells(bench, m));
+        t.print(std::cout);
+        std::cout << "\n";
+        avg.addRow(metricCells(exp.name, rows.back().second));
+    }
+    avg.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 5: selection throttling added to the best fetch/
+ * decode configurations: C1/C2, C3/C4, C5/C6 (each pair without/with
+ * the no-select heuristic) plus Pipeline Gating (C7).
+ *
+ * Paper reference (averages): the no-select heuristic adds ~2%
+ * energy savings for ~2% extra slowdown and leaves E-D roughly flat;
+ * C2 is the headline configuration with 13.5% energy savings (19.2%
+ * for go) and 8.5% E-D improvement vs Pipeline Gating's 11.0%/3.5%.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+int
+main()
+{
+    Harness h(benchConfig());
+
+    TextTable avg(metricHeader("experiment"));
+    avg.setTitle("Figure 5 summary (averages over 8 benchmarks)");
+
+    for (const Experiment &exp : Experiment::figure5Series()) {
+        TextTable t(metricHeader("benchmark"));
+        t.setTitle("Figure 5 / " + exp.name + ": " + exp.description);
+        auto rows = h.runSuite(exp);
+        for (const auto &[bench, m] : rows)
+            t.addRow(metricCells(bench, m));
+        t.print(std::cout);
+        std::cout << "\n";
+        avg.addRow(metricCells(exp.name, rows.back().second));
+    }
+    avg.addSeparator();
+    avg.addRow({"paper C2", "0.95", "-", "13.5%", "8.5%"});
+    avg.addRow({"paper PG", "0.92", "-", "11.0%", "3.5%"});
+    avg.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Figure 6: pipeline-depth sensitivity of the best
+ * configuration (C2), sweeping total depth from 6 to 28 stages.
+ *
+ * Paper reference: performance degradation stays between 5% and 6%
+ * at every depth while power/energy savings and E-D improvement grow
+ * with depth: energy savings 11% (6 stages) -> 17.2% (28 stages);
+ * E-D improvements 5.4% / 8.5% / 12% at 6 / 14 / 28 stages.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+int
+main()
+{
+    TextTable t(metricHeader("depth"));
+    t.setTitle("Figure 6: pipeline-depth sensitivity of C2 "
+               "(average of 8 benchmarks)");
+
+    Experiment c2 = Experiment::byName("C2");
+    for (unsigned depth = 6; depth <= 28; depth += 2) {
+        SimConfig cfg = benchConfig();
+        cfg.pipelineDepth = depth;
+        Harness h(cfg);
+        auto rows = h.runSuite(c2);
+        t.addRow(metricCells(std::to_string(depth),
+                             rows.back().second));
+    }
+    t.addSeparator();
+    t.addRow({"paper 6", "~0.95", "-", "11%", "5.4%"});
+    t.addRow({"paper 14", "~0.95", "-", "13.5%", "8.5%"});
+    t.addRow({"paper 28", "~0.94", "-", "17.2%", "12%"});
+    t.print(std::cout);
+    return 0;
+}

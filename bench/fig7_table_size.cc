@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 7: sensitivity to the combined branch predictor +
+ * confidence estimator budget, 8 KB to 64 KB total. The baseline at
+ * size X devotes all of X to its gshare; Selective Throttling splits
+ * X evenly between gshare and the BPRU estimator (5.3.2).
+ *
+ * Paper reference: power savings shrink with size (20.3% at 8 KB ->
+ * 16.5% at 64 KB) while energy savings (11-12%) and E-D improvements
+ * (4-5%) stay roughly flat; C2's performance loss shrinks as the
+ * estimator gets more accurate.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/simulator.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+int
+main()
+{
+    TextTable t(metricHeader("total KB"));
+    t.setTitle("Figure 7: predictor + estimator size sensitivity of "
+               "C2 (average of 8 benchmarks)");
+
+    for (std::size_t total_kb : {8u, 16u, 32u, 64u}) {
+        RelativeMetrics sum;
+        sum.speedup = 0;
+        for (const auto &bench : Harness::benchmarks()) {
+            // Baseline: the whole budget goes to the gshare.
+            SimConfig base = benchConfig();
+            base.benchmark = bench;
+            base.bpred.predictorBytes = total_kb * 1024;
+            Experiment::byName("baseline").applyTo(base);
+            SimResults rb = Simulator(base).run();
+
+            // Selective Throttling: half predictor, half estimator.
+            SimConfig st = benchConfig();
+            st.benchmark = bench;
+            st.bpred.predictorBytes = total_kb * 512;
+            st.confBytes = total_kb * 512;
+            Experiment::byName("C2").applyTo(st);
+            SimResults rs = Simulator(st).run();
+
+            RelativeMetrics m = RelativeMetrics::compute(rb, rs);
+            sum.speedup += m.speedup;
+            sum.powerSavings += m.powerSavings;
+            sum.energySavings += m.energySavings;
+            sum.edImprovement += m.edImprovement;
+        }
+        RelativeMetrics avg;
+        avg.speedup = sum.speedup / 8;
+        avg.powerSavings = sum.powerSavings / 8;
+        avg.energySavings = sum.energySavings / 8;
+        avg.edImprovement = sum.edImprovement / 8;
+        t.addRow(metricCells(std::to_string(total_kb), avg));
+    }
+    t.addSeparator();
+    t.addRow({"paper 8", "-", "20.3%", "11-12%", "4-5%"});
+    t.addRow({"paper 64", "-", "16.5%", "11-12%", "4-5%"});
+    t.print(std::cout);
+    return 0;
+}

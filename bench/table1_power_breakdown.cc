@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Table 1: the baseline power breakdown per Wattch block
+ * and the fraction of overall power wasted by mis-speculated
+ * instructions, averaged over the eight benchmarks.
+ *
+ * Paper reference: 56.4 W total, 27.9% wasted; per-unit shares
+ * icache 10.0/6.4, bpred 3.8/1.4, regfile 1.6/0.2, rename 1.1/0.5,
+ * window 18.2/5.6, lsq 1.9/0.2, alu 8.7/1.0, dcache 10.6/1.1,
+ * dcache2 0.7/0.0, resultbus 9.5/1.9, clock 33.8/9.5 (share/wasted,
+ * both % of overall power).
+ */
+
+#include <array>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "core/simulator.hh"
+
+using namespace stsim;
+using namespace stsim::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    PUnit unit;
+    double share;  // % of overall power
+    double wasted; // % of overall power wasted by mis-speculation
+};
+
+constexpr std::array<PaperRow, 11> kPaper = {{
+    {PUnit::ICache, 10.0, 6.4},
+    {PUnit::Bpred, 3.8, 1.4},
+    {PUnit::Regfile, 1.6, 0.2},
+    {PUnit::Rename, 1.1, 0.5},
+    {PUnit::Window, 18.2, 5.6},
+    {PUnit::Lsq, 1.9, 0.2},
+    {PUnit::Alu, 8.7, 1.0},
+    {PUnit::DCache, 10.6, 1.1},
+    {PUnit::DCache2, 0.7, 0.0},
+    {PUnit::ResultBus, 9.5, 1.9},
+    {PUnit::Clock, 33.8, 9.5},
+}};
+
+} // namespace
+
+int
+main()
+{
+    SimConfig base = benchConfig();
+
+    std::array<double, kNumPUnits> energy{};
+    std::array<double, kNumPUnits> wasted{};
+    double total_e = 0.0, total_w = 0.0, watts = 0.0;
+
+    for (const auto &bench : Harness::benchmarks()) {
+        SimConfig cfg = base;
+        cfg.benchmark = bench;
+        Experiment::byName("baseline").applyTo(cfg);
+        SimResults r = Simulator(cfg).run();
+        for (PUnit u : kAllPUnits) {
+            auto i = static_cast<std::size_t>(u);
+            energy[i] += r.unitEnergyJ[i];
+            wasted[i] += r.unitWastedJ[i];
+        }
+        total_e += r.energyJ;
+        total_w += r.wastedEnergyJ;
+        watts += r.avgPowerW;
+    }
+
+    TextTable t({"unit", "share %", "paper share %",
+                 "wasted % of overall", "paper wasted %"});
+    t.setTitle("Table 1: power breakdown and mis-speculation waste "
+               "(average of 8 benchmarks)");
+    for (const PaperRow &row : kPaper) {
+        auto i = static_cast<std::size_t>(row.unit);
+        t.addRow({punitName(row.unit),
+                  TextTable::num(100.0 * energy[i] / total_e, 1),
+                  TextTable::num(row.share, 1),
+                  TextTable::num(100.0 * wasted[i] / total_e, 1),
+                  TextTable::num(row.wasted, 1)});
+    }
+    t.addSeparator();
+    t.addRow({"overall", TextTable::num(watts / 8.0, 1) + " W",
+              "56.4 W", TextTable::num(100.0 * total_w / total_e, 1),
+              "27.9"});
+    t.print(std::cout);
+    return 0;
+}

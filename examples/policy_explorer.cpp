@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Policy explorer: run any named experiment (or a custom policy built
+ * from command-line switches) on chosen benchmarks and print the four
+ * paper metrics against the cached baseline.
+ *
+ * Usage:
+ *   policy_explorer [--exp NAME] [--bench NAME|all] [--insts N]
+ *                   [--bpru inc,dec,alloc] [--depth D]
+ *
+ * Examples:
+ *   policy_explorer --exp C2 --bench all
+ *   policy_explorer --exp A5 --bench go --insts 2000000
+ *   policy_explorer --exp C2 --bpru 4,1,3
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/harness.hh"
+
+using namespace stsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string exp_name = "C2";
+    std::string bench = "all";
+    std::uint64_t insts = 0;
+    unsigned depth = 14;
+    BpruEstimator::Params bpru{};
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--exp")) {
+            exp_name = need("--exp");
+        } else if (!std::strcmp(argv[i], "--bench")) {
+            bench = need("--bench");
+        } else if (!std::strcmp(argv[i], "--insts")) {
+            insts = std::strtoull(need("--insts"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--depth")) {
+            depth = static_cast<unsigned>(
+                std::strtoul(need("--depth"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--bpru")) {
+            unsigned inc, dec, alloc;
+            if (std::sscanf(need("--bpru"), "%u,%u,%u", &inc, &dec,
+                            &alloc) != 3) {
+                std::fprintf(stderr, "--bpru wants inc,dec,alloc\n");
+                return 2;
+            }
+            bpru.missInc = inc;
+            bpru.correctDec = dec;
+            bpru.allocValue = alloc;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    SimConfig base;
+    if (insts)
+        base.maxInstructions = insts;
+    base.pipelineDepth = depth;
+    base.bpruParams = bpru;
+    Harness h(base);
+
+    Experiment exp = Experiment::byName(exp_name);
+    TextTable t({"bench", "speedup", "power sav", "energy sav",
+                 "E-D impr"});
+    t.setTitle("Experiment " + exp.name + " (" + exp.description + ")");
+
+    if (bench == "all") {
+        for (const auto &[name, m] : h.runSuite(exp)) {
+            t.addRow({name, TextTable::num(m.speedup, 3),
+                      TextTable::pct(m.powerSavings),
+                      TextTable::pct(m.energySavings),
+                      TextTable::pct(m.edImprovement)});
+        }
+    } else {
+        RelativeMetrics m = h.relative(bench, exp);
+        t.addRow({bench, TextTable::num(m.speedup, 3),
+                  TextTable::pct(m.powerSavings),
+                  TextTable::pct(m.energySavings),
+                  TextTable::pct(m.edImprovement)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Calibration tool: runs the baseline machine on every benchmark
+ * profile and reports the quantities the synthetic workloads must
+ * reproduce (Table 2 targets) plus the power-model activity factors
+ * used to derive PowerParams::calibratedDefaults().
+ *
+ * Usage: workload_calibration [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/simulator.hh"
+#include "power/power_model.hh"
+#include "trace/profile.hh"
+
+#include <iostream>
+
+using namespace stsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 1'000'000;
+
+    TextTable table({"bench", "IPC", "missRate", "target", "brFrac",
+                     "tgtBr", "wrongFetch", "wrDisp", "wrIssue",
+                     "il1MR", "dl1MR", "power W", "wasteE%"});
+    table.setTitle("Workload calibration vs Table 2 targets");
+
+    std::array<double, kNumPUnits> act{};
+    std::array<double, kNumPUnits> energyShare{};
+    double total_energy = 0.0;
+
+    for (const auto &prof : specProfiles()) {
+        SimConfig cfg;
+        cfg.benchmark = prof.name;
+        cfg.maxInstructions = insts;
+        Experiment::byName("baseline").applyTo(cfg);
+
+        Simulator sim(cfg);
+        SimResults r = sim.run();
+
+        double br_frac =
+            static_cast<double>(r.core.committedCondBranches) /
+            r.core.committedInsts;
+
+        table.addRow({prof.name, TextTable::num(r.ipc, 3),
+                      TextTable::pct(100 * r.condMissRate),
+                      TextTable::pct(100 * prof.targetMissRate),
+                      TextTable::pct(100 * br_frac),
+                      TextTable::pct(100 * prof.condBranchFrac),
+                      TextTable::pct(100 * r.core.wrongPathFetchFrac()),
+                      TextTable::pct(
+                          100.0 * r.core.dispatchedWrongPath /
+                          std::max<Counter>(1, r.core.dispatchedInsts)),
+                      TextTable::pct(
+                          100.0 * r.core.issuedWrongPath /
+                          std::max<Counter>(1, r.core.issuedInsts)),
+                      TextTable::pct(100 * r.il1MissRate),
+                      TextTable::pct(100 * r.dl1MissRate),
+                      TextTable::num(r.avgPowerW, 1),
+                      TextTable::pct(100 * r.wastedEnergyFrac())});
+
+        for (PUnit u : kAllPUnits) {
+            auto i = static_cast<std::size_t>(u);
+            act[i] += sim.power().meanActivity(u);
+            energyShare[i] += r.unitEnergyJ[i];
+        }
+        total_energy += r.energyJ;
+    }
+    table.print(std::cout);
+
+    std::printf("\nPer-unit mean activity factors and energy shares "
+                "(average of 8 benchmarks):\n");
+    for (PUnit u : kAllPUnits) {
+        auto i = static_cast<std::size_t>(u);
+        std::printf("  %-10s act=%.3f  share=%.1f%%\n", punitName(u),
+                    act[i] / 8.0, 100.0 * energyShare[i] / total_energy);
+    }
+    std::printf("\nTable 1 target shares: icache 10.0 bpred 3.8 "
+                "regfile 1.6 rename 1.1 window 18.2 lsq 1.9 alu 8.7 "
+                "dcache 10.6 dcache2 0.7 resultbus 9.5 clock 33.8 "
+                "(56.4 W total)\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    if (!isPowerOf2(cfg.lineBytes) || !isPowerOf2(cfg.sizeBytes))
+        stsim_fatal("%s: size/line must be powers of two",
+                    cfg.name.c_str());
+    std::size_t lines = cfg.sizeBytes / cfg.lineBytes;
+    if (cfg.ways == 0 || lines % cfg.ways != 0)
+        stsim_fatal("%s: bad associativity", cfg.name.c_str());
+    numSets_ = lines / cfg.ways;
+    if (!isPowerOf2(numSets_))
+        stsim_fatal("%s: set count must be a power of two",
+                    cfg.name.c_str());
+    setBits_ = floorLog2(numSets_);
+    lineBits_ = floorLog2(cfg.lineBytes);
+    lines_.resize(lines);
+}
+
+bool
+Cache::access(Addr addr, bool /*is_write*/, bool wrong_path)
+{
+    ++accesses_;
+    if (wrong_path)
+        ++wrongPathAccesses_;
+
+    Addr line_addr = addr >> lineBits_;
+    std::size_t set = static_cast<std::size_t>(line_addr &
+                                               lowMask(setBits_));
+    Addr tag = line_addr >> setBits_;
+    Line *ways = &lines_[set * cfg_.ways];
+
+    Line *victim = &ways[0];
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lastUse = ++useClock_;
+            if (!wrong_path)
+                ways[w].wrongPathFill = false;
+            return true;
+        }
+        if (!ways[w].valid)
+            victim = &ways[w];
+        else if (victim->valid && ways[w].lastUse < victim->lastUse)
+            victim = &ways[w];
+    }
+
+    // Miss: allocate into the LRU way.
+    ++misses_;
+    if (wrong_path && victim->valid && !victim->wrongPathFill)
+        ++pollutionEvictions_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->wrongPathFill = wrong_path;
+    victim->lastUse = ++useClock_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    Addr line_addr = addr >> lineBits_;
+    std::size_t set = static_cast<std::size_t>(line_addr &
+                                               lowMask(setBits_));
+    Addr tag = line_addr >> setBits_;
+    const Line *ways = &lines_[set * cfg_.ways];
+    for (std::size_t w = 0; w < cfg_.ways; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+} // namespace stsim

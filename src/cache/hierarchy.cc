@@ -1,0 +1,50 @@
+#include "hierarchy.hh"
+
+namespace stsim
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
+    : cfg_(cfg),
+      il1_(cfg.il1),
+      dl1_(cfg.dl1),
+      l2_(cfg.l2),
+      dtlb_(cfg.tlbEntries, cfg.pageBytes, cfg.tlbMissPenalty)
+{
+}
+
+MemAccessResult
+MemoryHierarchy::fetchInst(Addr pc, bool wrong_path)
+{
+    MemAccessResult r;
+    r.l1Hit = il1_.access(pc, false, wrong_path);
+    r.latency = cfg_.il1.hitLatency;
+    if (!r.l1Hit) {
+        r.l2Accessed = true;
+        r.l2Hit = l2_.access(pc, false, wrong_path);
+        r.latency += cfg_.l2.hitLatency;
+        if (!r.l2Hit)
+            r.latency += cfg_.memLatency;
+    }
+    return r;
+}
+
+MemAccessResult
+MemoryHierarchy::accessData(Addr addr, bool is_write, bool wrong_path)
+{
+    MemAccessResult r;
+    r.tlbMiss = !dtlb_.access(addr);
+    r.l1Hit = dl1_.access(addr, is_write, wrong_path);
+    r.latency = cfg_.dl1.hitLatency + cfg_.dl1ExtraLatency;
+    if (!r.l1Hit) {
+        r.l2Accessed = true;
+        r.l2Hit = l2_.access(addr, is_write, wrong_path);
+        r.latency += cfg_.l2.hitLatency;
+        if (!r.l2Hit)
+            r.latency += cfg_.memLatency;
+    }
+    if (r.tlbMiss)
+        r.latency += dtlb_.missPenalty();
+    return r;
+}
+
+} // namespace stsim

@@ -1,0 +1,44 @@
+#include "tlb.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+Tlb::Tlb(std::size_t entries, std::size_t page_bytes,
+         unsigned miss_penalty)
+    : entries_(entries),
+      missPenalty_(miss_penalty)
+{
+    if (!isPowerOf2(page_bytes))
+        stsim_fatal("TLB page size must be a power of two");
+    stsim_assert(entries >= 1, "empty TLB");
+    pageBits_ = floorLog2(page_bytes);
+}
+
+bool
+Tlb::access(Addr vaddr)
+{
+    ++accesses_;
+    Addr vpn = vaddr >> pageBits_;
+
+    Entry *victim = &entries_[0];
+    for (auto &e : entries_) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = ++useClock_;
+            return true;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = ++useClock_;
+    return false;
+}
+
+} // namespace stsim

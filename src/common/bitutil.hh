@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by table-indexed structures.
+ */
+
+#ifndef STSIM_COMMON_BITUTIL_HH
+#define STSIM_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace stsim
+{
+
+/** True when v is a nonzero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceil of log2(v); v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Mask with the low n bits set (n <= 64). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
+/** Mix a 64-bit value (splitmix64 finalizer) for hashing addresses. */
+constexpr std::uint64_t
+hashMix(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_BITUTIL_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic for simulator bugs, fatal for
+ * user errors, warn/inform for non-fatal conditions.
+ */
+
+#ifndef STSIM_COMMON_LOGGING_HH
+#define STSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stsim
+{
+
+namespace detail
+{
+/** Print a tagged message to stderr; never returns for fatal severities. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter into a std::string. */
+std::string formatStr(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/**
+ * Abort on an internal invariant violation (a simulator bug): something
+ * that should never happen regardless of user input.
+ */
+#define stsim_panic(...) \
+    ::stsim::detail::panicImpl(__FILE__, __LINE__, \
+                               ::stsim::detail::formatStr(__VA_ARGS__))
+
+/**
+ * Exit on a condition that is the user's fault (bad configuration,
+ * invalid arguments) rather than a simulator bug.
+ */
+#define stsim_fatal(...) \
+    ::stsim::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::stsim::detail::formatStr(__VA_ARGS__))
+
+/** Alert the user to a suspicious but survivable condition. */
+#define stsim_warn(...) \
+    ::stsim::detail::warnImpl(::stsim::detail::formatStr(__VA_ARGS__))
+
+/** Informative status message. */
+#define stsim_inform(...) \
+    ::stsim::detail::informImpl(::stsim::detail::formatStr(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define stsim_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::stsim::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " ") + \
+                ::stsim::detail::formatStr(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_LOGGING_HH

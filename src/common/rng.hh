@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic xorshift128+ random number generator. Every simulation
+ * derives all stochastic behaviour from one seeded instance so results
+ * are exactly reproducible across runs and platforms.
+ */
+
+#ifndef STSIM_COMMON_RNG_HH
+#define STSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace stsim
+{
+
+/** Fast, deterministic xorshift128+ PRNG (not cryptographic). */
+class Rng
+{
+  public:
+    /** Seed with a nonzero 64-bit value; 0 is remapped internally. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to decorrelate nearby seeds.
+        std::uint64_t z = seed ? seed : 0x9e3779b97f4a7c15ull;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            *s = x ^ (x >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift range reduction; bias is negligible for the
+        // table sizes used here.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /**
+     * Geometric-flavoured small integer: number of failures before a
+     * success with probability p, capped at @p cap.
+     */
+    unsigned
+    geometric(double p, unsigned cap)
+    {
+        unsigned n = 0;
+        while (n < cap && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_RNG_HH

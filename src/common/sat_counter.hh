@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Saturating up/down counter, the workhorse of branch predictors and
+ * confidence estimators.
+ */
+
+#ifndef STSIM_COMMON_SAT_COUNTER_HH
+#define STSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace stsim
+{
+
+/**
+ * An n-bit saturating counter. Increment saturates at 2^bits - 1,
+ * decrement saturates at 0.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..15).
+     * @param initial Initial counter value (clamped to range).
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal_((1u << bits) - 1),
+          value_(initial > maxVal_ ? maxVal_ : initial)
+    {
+        stsim_assert(bits >= 1 && bits <= 15, "bits=%u", bits);
+    }
+
+    /** Saturating increment. */
+    void increment() { if (value_ < maxVal_) ++value_; }
+
+    /** Saturating decrement. */
+    void decrement() { if (value_ > 0) --value_; }
+
+    /** Set to an explicit value (clamped). */
+    void set(unsigned v) { value_ = v > maxVal_ ? maxVal_ : v; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** Current counter value. */
+    unsigned value() const { return value_; }
+
+    /** Maximum representable value. */
+    unsigned maxValue() const { return maxVal_; }
+
+    /** True when the counter is in its upper half (MSB set). */
+    bool isTaken() const { return value_ > maxVal_ / 2; }
+
+    /**
+     * True when the counter is in a "weak" state: the two values
+     * adjacent to the taken/not-taken boundary (for a 2-bit counter,
+     * values 1 and 2).
+     */
+    bool
+    isWeak() const
+    {
+        unsigned mid = maxVal_ / 2; // e.g. 1 for 2-bit
+        return value_ == mid || value_ == mid + 1;
+    }
+
+    /** True when saturated high. */
+    bool isMax() const { return value_ == maxVal_; }
+
+    /** True when saturated low. */
+    bool isMin() const { return value_ == 0; }
+
+  private:
+    std::uint16_t maxVal_;
+    std::uint16_t value_;
+};
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Lightweight statistics primitives: running aggregates, histograms and
+ * an ordered set of named scalar statistics for end-of-run reporting.
+ */
+
+#ifndef STSIM_COMMON_STATS_HH
+#define STSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stsim
+{
+
+/** Streaming mean/min/max/count aggregate. */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of samples, 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Minimum sample, +inf when empty. */
+    double min() const { return min_; }
+
+    /** Maximum sample, -inf when empty. */
+    double max() const { return max_; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [0, buckets); larger samples clamp. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 16) : counts_(buckets, 0) {}
+
+    /** Record one sample (clamped into the last bucket). */
+    void
+    sample(std::size_t v)
+    {
+        ++total_;
+        if (v >= counts_.size())
+            v = counts_.size() - 1;
+        ++counts_[v];
+    }
+
+    /** Count in bucket i. */
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of buckets. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket i (0 when empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_.at(i)) / total_ : 0.0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Ordered collection of named scalar statistics. Subsystems dump their
+ * counters here at end of run; benches/tests read them back by name.
+ */
+class StatSet
+{
+  public:
+    /** Set (or overwrite) a named scalar. */
+    void
+    set(const std::string &name, double value)
+    {
+        auto it = index_.find(name);
+        if (it == index_.end()) {
+            index_[name] = entries_.size();
+            entries_.push_back({name, value});
+        } else {
+            entries_[it->second].value = value;
+        }
+    }
+
+    /** True when a statistic with this name exists. */
+    bool has(const std::string &name) const { return index_.count(name); }
+
+    /** Fetch by name; fatals via .at() when absent. */
+    double
+    get(const std::string &name) const
+    {
+        return entries_.at(index_.at(name)).value;
+    }
+
+    /** Fetch by name with a default for absent entries. */
+    double
+    getOr(const std::string &name, double dflt) const
+    {
+        auto it = index_.find(name);
+        return it == index_.end() ? dflt : entries_[it->second].value;
+    }
+
+    /** Print all stats, one "name value" line each, insertion order. */
+    void
+    print(std::ostream &os) const
+    {
+        for (const auto &e : entries_)
+            os << e.name << " " << e.value << "\n";
+    }
+
+    /** Number of named statistics. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double value;
+    };
+
+    std::vector<Entry> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_STATS_HH

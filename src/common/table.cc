@@ -1,0 +1,88 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace stsim
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    stsim_assert(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    stsim_assert(cells.size() == header_.size(),
+                 "row has %zu cells, header has %zu",
+                 cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back(); // empty row marks a separator
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_sep = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << '|';
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << ' ' << cell << std::string(width[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_sep();
+        else
+            print_row(row);
+    }
+    print_sep();
+}
+
+} // namespace stsim

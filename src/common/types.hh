@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef STSIM_COMMON_TYPES_HH
+#define STSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace stsim
+{
+
+/** Byte address in the simulated machine's address space. */
+using Addr = std::uint64_t;
+
+/** Absolute cycle count since simulation start. */
+using Cycle = std::uint64_t;
+
+/** Monotonic dynamic-instruction sequence number (fetch order). */
+using InstSeq = std::uint64_t;
+
+/** Generic event/instruction counter. */
+using Counter = std::uint64_t;
+
+/** An invalid/sentinel address. */
+inline constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
+
+/** An invalid/sentinel sequence number. */
+inline constexpr InstSeq kInvalidSeq = ~static_cast<InstSeq>(0);
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_TYPES_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * BPRU-style confidence estimator (§4.3 of the paper, after Aragón et
+ * al., "Confidence Estimation for Branch Prediction Reversal").
+ *
+ * A tagged table; each entry holds a 3-bit up/down saturating counter
+ * that tracks how often the branch's predictions have been wrong
+ * recently. Counter values map onto the four confidence levels:
+ * 0-1 → VHC, 2-3 → HC, 4-5 → LC, 6-7 → VLC. On a table miss the
+ * estimator falls back to the underlying direction predictor's
+ * saturating counter: a weak counter labels the branch LC, a strong
+ * one HC (the paper's modification that raises SPEC at some PVN cost).
+ *
+ * The original BPRU derives its signal from a data-value predictor;
+ * this implementation reproduces the table structure, level mapping
+ * and fallback exactly, with the counter trained directly on
+ * prediction correctness (see DESIGN.md substitution #3). The update
+ * weights are calibrated so the estimator lands near the paper's
+ * measured quality (SPEC ≈ 60%, PVN ≈ 45% with an 8 KB gshare).
+ */
+
+#ifndef STSIM_CONFIDENCE_BPRU_HH
+#define STSIM_CONFIDENCE_BPRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "confidence/estimator.hh"
+
+namespace stsim
+{
+
+/** Tagged four-level confidence estimator in the BPRU mould. */
+class BpruEstimator : public ConfidenceEstimator
+{
+  public:
+    /** Tuning knobs; defaults reproduce the paper's reported quality. */
+    struct Params
+    {
+        unsigned missInc = 2;   ///< counter += on a misprediction
+        unsigned correctDec = 1; ///< counter -= on a correct prediction
+        unsigned allocValue = 4; ///< counter value for fresh entries
+        unsigned tagBits = 10;   ///< partial tag width
+    };
+
+    /**
+     * @param size_bytes Hardware budget. An entry holds a partial tag
+     *        plus a 3-bit counter; we charge 2 bytes per entry.
+     * @param params Update-rule tuning.
+     */
+    BpruEstimator(std::size_t size_bytes, const Params &params);
+
+    /** Construct with the calibrated default parameters. */
+    explicit BpruEstimator(std::size_t size_bytes)
+        : BpruEstimator(size_bytes, Params{})
+    {
+    }
+
+    ConfLevel estimate(Addr pc, std::uint64_t hist,
+                       const DirectionPredictor::Prediction &dir,
+                       bool oracle_correct) override;
+    void update(Addr pc, std::uint64_t hist, bool correct) override;
+    std::size_t sizeBytes() const override { return sizeBytes_; }
+
+    std::size_t numEntries() const { return table_.size(); }
+
+    /** Map a 3-bit counter value onto a confidence level (§4.3). */
+    static ConfLevel levelFromCounter(unsigned value);
+
+    /** Fraction of estimate() calls that hit in the tagged table. */
+    double hitRate() const
+    {
+        return lookups_ ? static_cast<double>(hits_) / lookups_ : 0.0;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint8_t counter = 0; // 0..7
+    };
+
+    std::size_t index(Addr pc, std::uint64_t hist) const;
+    std::uint32_t tagOf(Addr pc) const;
+
+    std::size_t sizeBytes_;
+    unsigned indexBits_;
+    Params params_;
+    std::vector<Entry> table_;
+    Counter lookups_ = 0;
+    Counter hits_ = 0;
+};
+
+} // namespace stsim
+
+#endif // STSIM_CONFIDENCE_BPRU_HH

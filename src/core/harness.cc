@@ -1,0 +1,96 @@
+#include "harness.hh"
+
+#include "common/logging.hh"
+#include "core/simulator.hh"
+#include "trace/profile.hh"
+
+namespace stsim
+{
+
+Harness::Harness(SimConfig base)
+    : base_(std::move(base))
+{
+    base_.applyEnvOverrides();
+}
+
+const std::vector<std::string> &
+Harness::benchmarks()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : specProfiles())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+const SimResults &
+Harness::baseline(const std::string &bench)
+{
+    auto it = baselines_.find(bench);
+    if (it != baselines_.end())
+        return it->second;
+
+    SimConfig cfg = base_;
+    cfg.benchmark = bench;
+    Experiment::byName("baseline").applyTo(cfg);
+    SimResults r = Simulator(cfg).run();
+    r.experiment = "baseline";
+    return baselines_.emplace(bench, std::move(r)).first->second;
+}
+
+SimResults
+Harness::run(const std::string &bench, const Experiment &exp)
+{
+    SimConfig cfg = base_;
+    cfg.benchmark = bench;
+    exp.applyTo(cfg);
+    SimResults r = Simulator(cfg).run();
+    r.experiment = exp.name;
+    return r;
+}
+
+RelativeMetrics
+Harness::relative(const std::string &bench, const Experiment &exp)
+{
+    const SimResults &base = baseline(bench);
+    SimResults r = run(bench, exp);
+    return RelativeMetrics::compute(base, r);
+}
+
+std::vector<std::pair<std::string, RelativeMetrics>>
+Harness::runSuite(const Experiment &exp)
+{
+    std::vector<std::pair<std::string, RelativeMetrics>> rows;
+    for (const std::string &b : benchmarks())
+        rows.emplace_back(b, relative(b, exp));
+    rows.emplace_back("Average", averageMetrics(rows));
+    return rows;
+}
+
+RelativeMetrics
+averageMetrics(
+    const std::vector<std::pair<std::string, RelativeMetrics>> &rows)
+{
+    RelativeMetrics avg;
+    avg.speedup = 0.0;
+    double n = 0.0;
+    for (const auto &[name, m] : rows) {
+        if (name == "Average")
+            continue;
+        avg.speedup += m.speedup;
+        avg.powerSavings += m.powerSavings;
+        avg.energySavings += m.energySavings;
+        avg.edImprovement += m.edImprovement;
+        n += 1.0;
+    }
+    stsim_assert(n > 0, "no rows to average");
+    avg.speedup /= n;
+    avg.powerSavings /= n;
+    avg.energySavings /= n;
+    avg.edImprovement /= n;
+    return avg;
+}
+
+} // namespace stsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries and examples: runs
+ * named experiments over the Table 2 benchmark suite against cached
+ * per-benchmark baselines and computes the paper's relative metrics.
+ */
+
+#ifndef STSIM_CORE_HARNESS_HH
+#define STSIM_CORE_HARNESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/sim_config.hh"
+#include "core/sim_results.hh"
+
+namespace stsim
+{
+
+/** Runs experiments over the benchmark suite with a cached baseline. */
+class Harness
+{
+  public:
+    /**
+     * @param base Template configuration; experiments override only the
+     *        speculation-control fields. REPRO_INSTRUCTIONS is honoured.
+     */
+    explicit Harness(SimConfig base = SimConfig{});
+
+    /** The eight Table 2 benchmark names. */
+    static const std::vector<std::string> &benchmarks();
+
+    /** Baseline result for @p bench (simulated once, then cached). */
+    const SimResults &baseline(const std::string &bench);
+
+    /** Run @p exp on @p bench. */
+    SimResults run(const std::string &bench, const Experiment &exp);
+
+    /** Run @p exp and compute baseline-relative metrics. */
+    RelativeMetrics relative(const std::string &bench,
+                             const Experiment &exp);
+
+    /**
+     * Run @p exp over all benchmarks; returns per-benchmark metrics
+     * plus the arithmetic mean as a final "Average" row (the paper's
+     * plots report per-benchmark bars plus the average).
+     */
+    std::vector<std::pair<std::string, RelativeMetrics>>
+    runSuite(const Experiment &exp);
+
+    const SimConfig &baseConfig() const { return base_; }
+
+    /** Mutable template (e.g. to change pipeline depth per sweep). */
+    SimConfig &baseConfig() { invalidateBaselines(); return base_; }
+
+  private:
+    void invalidateBaselines() { baselines_.clear(); }
+
+    SimConfig base_;
+    std::map<std::string, SimResults> baselines_;
+};
+
+/** Arithmetic mean of relative metrics (the paper's "Average" bars). */
+RelativeMetrics
+averageMetrics(const std::vector<std::pair<std::string,
+                                           RelativeMetrics>> &rows);
+
+} // namespace stsim
+
+#endif // STSIM_CORE_HARNESS_HH

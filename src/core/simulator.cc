@@ -1,0 +1,198 @@
+#include "simulator.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+#include "confidence/bpru.hh"
+#include "confidence/jrs.hh"
+#include "confidence/perfect.hh"
+#include "trace/profile.hh"
+
+namespace stsim
+{
+
+const char *
+confKindName(ConfKind k)
+{
+    switch (k) {
+      case ConfKind::None: return "none";
+      case ConfKind::Bpru: return "bpru";
+      case ConfKind::Jrs: return "jrs";
+      case ConfKind::Perfect: return "perfect";
+    }
+    return "?";
+}
+
+void
+SimConfig::finalize()
+{
+    if (finalized)
+        return;
+    finalized = true;
+    core.applyPipelineDepth(pipelineDepth);
+    memory.dl1ExtraLatency = core.extraDl1Latency;
+    core.validate();
+    if (specControl.mode != SpecControlMode::None &&
+        confKind == ConfKind::None) {
+        stsim_fatal("speculation control needs a confidence estimator");
+    }
+    // Bpred-unit power follows its total array budget: predictor plus
+    // confidence estimator when one is present (Figure 7 scaling; also
+    // charges Selective Throttling for its estimator hardware).
+    std::size_t budget = bpred.predictorBytes;
+    if (confKind == ConfKind::Bpru || confKind == ConfKind::Jrs)
+        budget += confBytes;
+    power.scaleBpredSize(budget);
+}
+
+void
+SimConfig::applyEnvOverrides()
+{
+    if (const char *s = std::getenv("REPRO_INSTRUCTIONS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s, &end, 10);
+        if (end && *end == '\0' && v >= 1000)
+            maxInstructions = v;
+        else
+            stsim_warn("ignoring bad REPRO_INSTRUCTIONS='%s'", s);
+    }
+}
+
+std::shared_ptr<const StaticProgram>
+Simulator::programFor(const std::string &benchmark)
+{
+    static std::map<std::string, std::shared_ptr<const StaticProgram>>
+        cache;
+    auto it = cache.find(benchmark);
+    if (it != cache.end())
+        return it->second;
+    auto prog = std::make_shared<const StaticProgram>(
+        findProfile(benchmark));
+    cache.emplace(benchmark, prog);
+    return prog;
+}
+
+Simulator::Simulator(SimConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    cfg_.finalize();
+
+    std::shared_ptr<const StaticProgram> program;
+    if (cfg_.customProfile) {
+        program =
+            std::make_shared<const StaticProgram>(*cfg_.customProfile);
+    } else {
+        program = programFor(cfg_.benchmark);
+    }
+    workload_ = std::make_unique<Workload>(std::move(program),
+                                           cfg_.runSeed);
+    bpred_ = std::make_unique<BpredUnit>(cfg_.bpred);
+
+    switch (cfg_.confKind) {
+      case ConfKind::None:
+        break;
+      case ConfKind::Bpru:
+        confidence_ = std::make_unique<BpruEstimator>(cfg_.confBytes,
+                                                      cfg_.bpruParams);
+        break;
+      case ConfKind::Jrs:
+        confidence_ = std::make_unique<JrsEstimator>(cfg_.confBytes,
+                                                     cfg_.jrsThreshold);
+        break;
+      case ConfKind::Perfect:
+        confidence_ = std::make_unique<PerfectEstimator>();
+        break;
+    }
+
+    memory_ = std::make_unique<MemoryHierarchy>(cfg_.memory);
+    power_ = std::make_unique<PowerModel>(cfg_.power);
+    controller_ =
+        std::make_unique<SpeculationController>(cfg_.specControl);
+
+    Core::Deps deps;
+    deps.workload = workload_.get();
+    deps.bpred = bpred_.get();
+    deps.confidence = confidence_.get();
+    deps.memory = memory_.get();
+    deps.power = power_.get();
+    deps.controller = controller_.get();
+    core_ = std::make_unique<Core>(cfg_.core, deps);
+}
+
+Simulator::~Simulator() = default;
+
+SimResults
+Simulator::run()
+{
+    // Warmup: trains caches/predictors, then statistics reset.
+    while (core_->stats().committedInsts < cfg_.warmupInstructions)
+        core_->tick();
+    core_->resetStats();
+    power_->resetStats();
+    bpred_->resetStats();
+
+    // Cache stats reset so reported miss rates exclude cold start.
+    const_cast<Cache &>(memory_->il1()).resetStats();
+    const_cast<Cache &>(memory_->dl1()).resetStats();
+    const_cast<Cache &>(memory_->l2()).resetStats();
+    const_cast<Tlb &>(memory_->dtlb()).resetStats();
+
+    const Cycle max_cycles =
+        static_cast<Cycle>(cfg_.maxInstructions) * 64 + 1'000'000;
+    Cycle start = core_->now();
+    while (core_->stats().committedInsts < cfg_.maxInstructions) {
+        core_->tick();
+        if (core_->now() - start > max_cycles)
+            stsim_panic("simulation ran away: %llu cycles for %llu insts",
+                        static_cast<unsigned long long>(core_->now() -
+                                                        start),
+                        static_cast<unsigned long long>(
+                            core_->stats().committedInsts));
+    }
+
+    SimResults r;
+    r.benchmark = cfg_.benchmark;
+    r.core = core_->stats();
+    r.ipc = r.core.ipc();
+    r.seconds = power_->seconds();
+    r.avgPowerW = power_->avgPower();
+    r.energyJ = power_->totalEnergy();
+    r.edProduct = r.energyJ * r.seconds;
+    for (PUnit u : kAllPUnits) {
+        auto i = static_cast<std::size_t>(u);
+        r.unitEnergyJ[i] = power_->unitEnergy(u);
+        r.unitWastedJ[i] = power_->unitWastedEnergy(u);
+    }
+    r.wastedEnergyJ = power_->wastedEnergy();
+    r.condMissRate = bpred_->condMissRate();
+    r.spec = core_->confMetrics().spec();
+    r.pvn = core_->confMetrics().pvn();
+    r.il1MissRate = memory_->il1().missRate();
+    r.dl1MissRate = memory_->dl1().missRate();
+    r.l2MissRate = memory_->l2().missRate();
+    return r;
+}
+
+RelativeMetrics
+RelativeMetrics::compute(const SimResults &baseline,
+                         const SimResults &experiment)
+{
+    RelativeMetrics m;
+    if (experiment.ipc > 0.0)
+        m.speedup = experiment.ipc / baseline.ipc;
+    if (baseline.avgPowerW > 0.0)
+        m.powerSavings = 100.0 *
+            (baseline.avgPowerW - experiment.avgPowerW) /
+            baseline.avgPowerW;
+    if (baseline.energyJ > 0.0)
+        m.energySavings = 100.0 *
+            (baseline.energyJ - experiment.energyJ) / baseline.energyJ;
+    if (baseline.edProduct > 0.0)
+        m.edImprovement = 100.0 *
+            (baseline.edProduct - experiment.edProduct) /
+            baseline.edProduct;
+    return m;
+}
+
+} // namespace stsim

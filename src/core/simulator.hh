@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulator: owns and wires every subsystem for one run. This is the
+ * library's primary entry point.
+ *
+ * Example:
+ * @code
+ *   SimConfig cfg;
+ *   cfg.benchmark = "go";
+ *   cfg.confKind = ConfKind::Bpru;
+ *   cfg.specControl.mode = SpecControlMode::Selective;
+ *   cfg.specControl.policy = ThrottlePolicy::byName("C2");
+ *   SimResults r = Simulator(cfg).run();
+ * @endcode
+ */
+
+#ifndef STSIM_CORE_SIMULATOR_HH
+#define STSIM_CORE_SIMULATOR_HH
+
+#include <memory>
+
+#include "bpred/bpred_unit.hh"
+#include "cache/hierarchy.hh"
+#include "confidence/estimator.hh"
+#include "core/sim_config.hh"
+#include "core/sim_results.hh"
+#include "pipeline/core.hh"
+#include "power/power_model.hh"
+#include "throttle/controller.hh"
+#include "trace/workload.hh"
+
+namespace stsim
+{
+
+/** Owns one simulated machine and runs it to completion. */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig cfg);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Run warmup + measurement; returns the collected results. */
+    SimResults run();
+
+    /** Access the core (tests/diagnostics). */
+    Core &core() { return *core_; }
+    const SimConfig &config() const { return cfg_; }
+    BpredUnit &bpred() { return *bpred_; }
+    MemoryHierarchy &memory() { return *memory_; }
+    PowerModel &power() { return *power_; }
+
+    /**
+     * Shared cache of immutable synthetic programs, keyed by profile
+     * name; avoids rebuilding the CFG for every experiment.
+     */
+    static std::shared_ptr<const StaticProgram>
+    programFor(const std::string &benchmark);
+
+  private:
+    SimConfig cfg_;
+    std::unique_ptr<Workload> workload_;
+    std::unique_ptr<BpredUnit> bpred_;
+    std::unique_ptr<ConfidenceEstimator> confidence_;
+    std::unique_ptr<MemoryHierarchy> memory_;
+    std::unique_ptr<PowerModel> power_;
+    std::unique_ptr<SpeculationController> controller_;
+    std::unique_ptr<Core> core_;
+};
+
+} // namespace stsim
+
+#endif // STSIM_CORE_SIMULATOR_HH

@@ -1,0 +1,159 @@
+#include "core.hh"
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+Core::Core(const CoreConfig &cfg, const Deps &deps)
+    : cfg_(cfg),
+      deps_(deps),
+      fuPool_(cfg)
+{
+    cfg_.validate();
+    stsim_assert(deps_.workload && deps_.bpred && deps_.memory &&
+                     deps_.power && deps_.controller,
+                 "core is missing a collaborator");
+    if (deps_.controller->config().mode != SpecControlMode::None) {
+        stsim_assert(deps_.confidence,
+                     "speculation control requires a confidence estimator");
+        stsim_assert(cfg_.oracle == OracleMode::None,
+                     "oracle modes and speculation control are exclusive");
+    }
+
+    fetchQCap_ = static_cast<std::size_t>(cfg_.fetchWidth) *
+                 (cfg_.fetchStages + 1);
+    dispatchQCap_ = static_cast<std::size_t>(cfg_.decodeWidth) *
+                    (cfg_.decodeStages + 1);
+
+    std::size_t pool = fetchQCap_ + dispatchQCap_ + cfg_.ruuSize + 8;
+    slots_.resize(pool);
+    freeSlots_.reserve(pool);
+    for (std::size_t i = pool; i > 0; --i)
+        freeSlots_.push_back(static_cast<std::uint32_t>(i - 1));
+    inflight_.reserve(pool * 2);
+
+    fetchPc_ = deps_.workload->program().codeBase();
+}
+
+std::uint32_t
+Core::allocSlot()
+{
+    stsim_assert(!freeSlots_.empty(), "slot pool exhausted");
+    std::uint32_t s = freeSlots_.back();
+    freeSlots_.pop_back();
+    slots_[s].reset();
+    return s;
+}
+
+void
+Core::freeSlot(std::uint32_t slot)
+{
+    freeSlots_.push_back(slot);
+}
+
+std::optional<std::uint32_t>
+Core::slotOf(InstSeq seq) const
+{
+    auto it = inflight_.find(seq);
+    if (it == inflight_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Core::tick()
+{
+    deps_.power->beginCycle();
+    fuPool_.newCycle();
+
+    commitStage();
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    decodeStage();
+    fetchStage();
+
+    deps_.controller->tickStats(now_);
+    deps_.power->endCycle();
+    ++stats_.cycles;
+    ++now_;
+
+    if (!inflight_.empty() && now_ - lastCommitCycle_ > 100000) {
+        stsim_panic("no commit for 100000 cycles at cycle %llu "
+                    "(inflight=%zu rob=%zu fetchQ=%zu mode=%d)",
+                    static_cast<unsigned long long>(now_),
+                    inflight_.size(), rob_.size(), fetchQ_.size(),
+                    static_cast<int>(fetchMode_));
+    }
+}
+
+void
+Core::wakeConsumers(DynInst &producer)
+{
+    for (InstSeq cs : producer.consumers) {
+        auto slot = slotOf(cs);
+        if (!slot)
+            continue; // consumer squashed
+        DynInst &c = inst(*slot);
+        if (!c.inWindow || c.issued || c.waitingOn == 0)
+            continue;
+        --c.waitingOn;
+        // Wakeup CAM match in the window (oracle decode spends no
+        // energy on wrong-path entries at all).
+        if (!(cfg_.oracle == OracleMode::OracleDecode && c.wrongPath))
+            deps_.power->record(PUnit::Window, 1, c.wrongPath ? 1 : 0);
+        if (c.waitingOn == 0) {
+            bool oracle_blocked =
+                (cfg_.oracle == OracleMode::OracleSelect ||
+                 cfg_.oracle == OracleMode::OracleDecode) &&
+                c.wrongPath;
+            if (oracle_blocked)
+                continue; // never selectable
+            readyQ_.push(c.seq);
+        }
+    }
+    producer.consumers.clear();
+}
+
+bool
+Core::loadMayIssue(const DynInst &di) const
+{
+    return unknownStoreAddrs_.empty() ||
+           *unknownStoreAddrs_.begin() > di.seq;
+}
+
+bool
+Core::tryForward(const DynInst &load)
+{
+    Addr word = load.ti.memAddr >> 3;
+    for (auto it = lsq_.rbegin(); it != lsq_.rend(); ++it) {
+        const DynInst &e = slots_[*it];
+        if (e.seq >= load.seq)
+            continue;
+        if (e.ti.isStore() && e.addrReady &&
+            (e.ti.memAddr >> 3) == word)
+            return true;
+    }
+    return false;
+}
+
+void
+Core::releaseBlockedLoads()
+{
+    InstSeq min_unknown = unknownStoreAddrs_.empty()
+                              ? kInvalidSeq
+                              : *unknownStoreAddrs_.begin();
+    std::size_t kept = 0;
+    for (InstSeq s : blockedLoads_) {
+        if (s < min_unknown) {
+            if (slotOf(s))
+                readyQ_.push(s);
+        } else {
+            blockedLoads_[kept++] = s;
+        }
+    }
+    blockedLoads_.resize(kept);
+}
+
+} // namespace stsim

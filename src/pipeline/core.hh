@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The out-of-order core: an RUU-style (SimpleScalar sim-outorder)
+ * machine with a parameterizable deep front end, executing a synthetic
+ * workload under a branch predictor, confidence estimator, speculation
+ * controller (Selective Throttling / Pipeline Gating), memory
+ * hierarchy and Wattch-style power model.
+ *
+ * One tick() simulates one cycle, processing stages in reverse order
+ * (commit, writeback, issue, dispatch, decode, fetch) so same-cycle
+ * structural hazards resolve without events.
+ */
+
+#ifndef STSIM_PIPELINE_CORE_HH
+#define STSIM_PIPELINE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/bpred_unit.hh"
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+#include "confidence/estimator.hh"
+#include "confidence/metrics.hh"
+#include "pipeline/core_config.hh"
+#include "pipeline/core_stats.hh"
+#include "pipeline/dyn_inst.hh"
+#include "pipeline/fu_pool.hh"
+#include "power/power_model.hh"
+#include "throttle/controller.hh"
+#include "trace/workload.hh"
+
+namespace stsim
+{
+
+/** The simulated processor core. */
+class Core
+{
+  public:
+    /** Non-owning references to the core's collaborators. */
+    struct Deps
+    {
+        Workload *workload = nullptr;
+        BpredUnit *bpred = nullptr;
+        ConfidenceEstimator *confidence = nullptr; ///< may be null
+        MemoryHierarchy *memory = nullptr;
+        PowerModel *power = nullptr;
+        SpeculationController *controller = nullptr;
+    };
+
+    Core(const CoreConfig &cfg, const Deps &deps);
+
+    /** Simulate one cycle. */
+    void tick();
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    const CoreStats &stats() const { return stats_; }
+
+    /** Confidence quality confusion counts (commit-time). */
+    const ConfMetrics &confMetrics() const { return confMetrics_; }
+
+    const CoreConfig &config() const { return cfg_; }
+
+    /** In-flight instruction count (diagnostics/tests). */
+    std::size_t inFlight() const { return inflight_.size(); }
+
+    /** Cycles since the last commit (deadlock watchdog). */
+    Cycle cyclesSinceCommit() const { return now_ - lastCommitCycle_; }
+
+    /** Zero event counters at the end of warmup; state is untouched. */
+    void
+    resetStats()
+    {
+        stats_ = CoreStats{};
+        confMetrics_ = ConfMetrics{};
+    }
+
+  private:
+    /// @name Pipeline stages (called in this order by tick())
+    /// @{
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void decodeStage();
+    void fetchStage();
+    /// @}
+
+    /// @name Fetch helpers
+    /// @{
+    /** Fetch source mode. */
+    enum class FetchMode : std::uint8_t
+    {
+        CorrectPath,
+        WrongPath,   ///< running a WrongPathCursor after a mispredict
+        WaitBranch,  ///< stalled until guard branch resolves
+    };
+
+    /** Produce the next instruction on the current fetch path. */
+    TraceInst nextFetchInst();
+
+    /** Handle a fetched control instruction; returns next fetch PC or
+     *  nullopt when the fetch group must end. */
+    std::optional<Addr> processControl(DynInst &di);
+    /// @}
+
+    /// @name Squash/recovery
+    /// @{
+    /** Remove everything younger than @p seq from the machine. */
+    void squashAfter(InstSeq seq);
+
+    /** Handle resolution of the fetch-blocking branch. */
+    void resolveGuardBranch(DynInst &branch);
+    /// @}
+
+    /// @name Slot pool
+    /// @{
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+    DynInst &inst(std::uint32_t slot) { return slots_[slot]; }
+    /** Slot of an in-flight seq, or nullopt. */
+    std::optional<std::uint32_t> slotOf(InstSeq seq) const;
+    /// @}
+
+    /// @name Issue helpers
+    /// @{
+    bool loadMayIssue(const DynInst &di) const;
+    /** Try store-to-load forwarding; true when forwarded. */
+    bool tryForward(const DynInst &load);
+    void wakeConsumers(DynInst &producer);
+    void releaseBlockedLoads();
+    /// @}
+
+    CoreConfig cfg_;
+    Deps deps_;
+    CoreStats stats_;
+    ConfMetrics confMetrics_;
+
+    Cycle now_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    InstSeq nextSeq_ = 1;
+
+    // Slot pool.
+    std::vector<DynInst> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::unordered_map<InstSeq, std::uint32_t> inflight_;
+
+    // Pipes and window (slot indices, oldest first).
+    std::deque<std::uint32_t> fetchQ_;
+    std::deque<std::uint32_t> dispatchQ_;
+    std::deque<std::uint32_t> rob_;
+    std::deque<std::uint32_t> lsq_;
+
+    // Scheduling.
+    std::priority_queue<InstSeq, std::vector<InstSeq>,
+                        std::greater<InstSeq>>
+        readyQ_; // lazy-validated
+    struct WbEvent
+    {
+        Cycle at;
+        InstSeq seq;
+        bool operator>(const WbEvent &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+    std::priority_queue<WbEvent, std::vector<WbEvent>,
+                        std::greater<WbEvent>>
+        wbQ_;
+    std::set<InstSeq> unknownStoreAddrs_;
+    std::vector<InstSeq> blockedLoads_;
+    FuPool fuPool_;
+
+    // Fetch state.
+    FetchMode fetchMode_ = FetchMode::CorrectPath;
+    std::optional<WrongPathCursor> wrongCursor_;
+    InstSeq guardBranchSeq_ = kInvalidSeq; ///< branch fetch waits on
+    Addr fetchPc_ = 0;
+    Cycle fetchStallUntil_ = 0;
+    Addr lastFetchLine_ = kInvalidAddr;
+
+    // Capacities.
+    std::size_t fetchQCap_;
+    std::size_t dispatchQCap_;
+};
+
+} // namespace stsim
+
+#endif // STSIM_PIPELINE_CORE_HH

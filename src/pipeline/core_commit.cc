@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Commit stage, squash/recovery and misprediction resolution.
+ */
+
+#include "common/logging.hh"
+#include "core.hh"
+
+namespace stsim
+{
+
+void
+Core::commitStage()
+{
+    unsigned n = 0;
+    while (n < cfg_.commitWidth && !rob_.empty()) {
+        std::uint32_t slot = rob_.front();
+        DynInst &di = inst(slot);
+        if (!di.completed)
+            break;
+        stsim_assert(!di.wrongPath,
+                     "wrong-path instruction reached commit");
+        rob_.pop_front();
+        if (isMemory(di.ti.cls)) {
+            stsim_assert(!lsq_.empty() && lsq_.front() == slot,
+                         "LSQ out of sync at commit");
+            lsq_.pop_front();
+        }
+
+        if (di.ti.isStore()) {
+            // Stores write the cache at commit (write-allocate).
+            auto r = deps_.memory->accessData(di.ti.memAddr, true,
+                                              false);
+            deps_.power->record(PUnit::DCache, 1, 0);
+            if (r.l2Accessed)
+                deps_.power->record(PUnit::DCache2, 1, 0);
+        }
+        if (di.ti.hasDest)
+            deps_.power->record(PUnit::Regfile, 1, 0);
+
+        if (di.ti.isBranch()) {
+            deps_.bpred->commitUpdate(di.ti, di.pred);
+            ++stats_.committedBranches;
+            if (di.ti.isCondBranch()) {
+                ++stats_.committedCondBranches;
+                bool correct = di.pred.predTaken == di.ti.taken;
+                if (!correct)
+                    ++stats_.condMispredicts;
+                if (di.confAssigned) {
+                    confMetrics_.record(di.conf, correct);
+                    deps_.confidence->update(di.ti.pc,
+                                             di.pred.histBefore,
+                                             correct);
+                }
+            }
+        }
+
+        ++stats_.committedInsts;
+        ++n;
+        lastCommitCycle_ = now_;
+        inflight_.erase(di.seq);
+        freeSlot(slot);
+    }
+}
+
+void
+Core::squashAfter(InstSeq seq)
+{
+    ++stats_.squashes;
+
+    // LSQ first: its slots are shared with the ROB, so only unlink.
+    while (!lsq_.empty() && inst(lsq_.back()).seq > seq)
+        lsq_.pop_back();
+
+    auto drop_young = [&](std::deque<std::uint32_t> &q) {
+        while (!q.empty() && inst(q.back()).seq > seq) {
+            std::uint32_t slot = q.back();
+            q.pop_back();
+            DynInst &di = inst(slot);
+            if (di.ti.isStore())
+                unknownStoreAddrs_.erase(di.seq);
+            inflight_.erase(di.seq);
+            ++stats_.squashedInsts;
+            freeSlot(slot);
+        }
+    };
+    drop_young(fetchQ_);
+    drop_young(dispatchQ_);
+    drop_young(rob_);
+
+    std::erase_if(blockedLoads_,
+                  [seq](InstSeq s) { return s > seq; });
+    // readyQ_/wbQ_ entries are validated lazily against inflight_.
+
+    deps_.controller->squashYoungerThan(seq);
+    releaseBlockedLoads();
+}
+
+void
+Core::resolveGuardBranch(DynInst &branch)
+{
+    stsim_assert(branch.seq == guardBranchSeq_, "guard mismatch");
+
+    // Repair speculative predictor state (global history, RAS).
+    deps_.bpred->squashRestore(branch.ti, branch.pred);
+
+    if (fetchMode_ == FetchMode::WrongPath)
+        squashAfter(branch.seq);
+    // In WaitBranch mode (oracle fetch / garbage target) nothing
+    // younger was fetched, so there is nothing to squash.
+
+    fetchMode_ = FetchMode::CorrectPath;
+    wrongCursor_.reset();
+    guardBranchSeq_ = kInvalidSeq;
+    fetchPc_ = branch.ti.npc;
+    Cycle resume = now_ + 1 + cfg_.extraMispredictPenalty;
+    if (resume > fetchStallUntil_)
+        fetchStallUntil_ = resume;
+}
+
+} // namespace stsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Decode and dispatch stages: the in-order middle of the machine.
+ * Decode models the (possibly throttled) decode/rename pipe; dispatch
+ * allocates RUU/LSQ entries and resolves register dependences.
+ */
+
+#include "common/logging.hh"
+#include "core.hh"
+
+namespace stsim
+{
+
+void
+Core::decodeStage()
+{
+    const bool gated = !deps_.controller->decodeActive(now_);
+    const InstSeq barrier = deps_.controller->decodeBarrier();
+    if (gated)
+        ++stats_.decodeThrottled;
+
+    unsigned n = 0;
+    while (n < cfg_.decodeWidth && !fetchQ_.empty()) {
+        std::uint32_t slot = fetchQ_.front();
+        DynInst &di = inst(slot);
+        if (di.decodeReady > now_)
+            break;
+        if (dispatchQ_.size() >= dispatchQCap_)
+            break;
+        // Decode throttling gates only instructions younger than the
+        // triggering branch; the trigger itself must drain so it can
+        // resolve and release the gate.
+        if (gated && barrier != kInvalidSeq && di.seq > barrier)
+            break;
+        fetchQ_.pop_front();
+
+        const bool wp = di.wrongPath;
+        // Oracle decode: wrong-path instructions keep flowing (fetch
+        // and queue occupancy stay realistic) but spend no decode or
+        // downstream energy and never issue -- the machine "knows"
+        // not to process them (Figure 1's oracle decode experiment).
+        const bool suppress =
+            cfg_.oracle == OracleMode::OracleDecode && wp;
+        if (suppress)
+            ++stats_.oracleDecodeDrops;
+
+        ++stats_.decodedInsts;
+        if (wp)
+            ++stats_.decodedWrongPath;
+        ++n;
+
+        if (!suppress) {
+            deps_.power->record(PUnit::Rename, 1, wp ? 1 : 0);
+            unsigned nsrc = (di.ti.srcDist[0] ? 1u : 0u) +
+                            (di.ti.srcDist[1] ? 1u : 0u);
+            if (nsrc) // operand read at decode (Wattch accounting)
+                deps_.power->record(PUnit::Regfile, nsrc,
+                                    wp ? nsrc : 0);
+        }
+
+        di.dispatchReady = now_ + cfg_.decodeStages;
+        dispatchQ_.push_back(slot);
+    }
+}
+
+void
+Core::dispatchStage()
+{
+    unsigned n = 0;
+    while (n < cfg_.decodeWidth && !dispatchQ_.empty()) {
+        std::uint32_t slot = dispatchQ_.front();
+        DynInst &di = inst(slot);
+        if (di.dispatchReady > now_)
+            break;
+        if (rob_.size() >= cfg_.ruuSize) {
+            ++stats_.robFullStalls;
+            break;
+        }
+        if (isMemory(di.ti.cls) && lsq_.size() >= cfg_.lsqSize) {
+            ++stats_.lsqFullStalls;
+            break;
+        }
+        dispatchQ_.pop_front();
+
+        const bool wp = di.wrongPath;
+        di.inWindow = true;
+        rob_.push_back(slot);
+        if (isMemory(di.ti.cls)) {
+            lsq_.push_back(slot);
+            if (di.ti.isStore())
+                unknownStoreAddrs_.insert(di.seq);
+        }
+
+        // Resolve register dependences against in-flight producers.
+        di.waitingOn = 0;
+        for (int k = 0; k < 2; ++k) {
+            unsigned d = di.ti.srcDist[k];
+            if (!d || d >= di.seq)
+                continue;
+            auto ps = slotOf(di.seq - d);
+            if (!ps)
+                continue; // committed, squashed or dropped: ready
+            DynInst &prod = inst(*ps);
+            if (!prod.ti.hasDest || prod.completed)
+                continue;
+            prod.consumers.push_back(di.seq);
+            ++di.waitingOn;
+        }
+
+        if (!(cfg_.oracle == OracleMode::OracleDecode && wp))
+            deps_.power->record(PUnit::Window, 1, wp ? 1 : 0);
+        ++stats_.dispatchedInsts;
+        if (wp)
+            ++stats_.dispatchedWrongPath;
+        ++n;
+
+        if (di.waitingOn == 0) {
+            bool oracle_blocked =
+                (cfg_.oracle == OracleMode::OracleSelect ||
+                 cfg_.oracle == OracleMode::OracleDecode) &&
+                wp;
+            if (!oracle_blocked)
+                readyQ_.push(di.seq);
+        }
+    }
+}
+
+} // namespace stsim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Issue/select and writeback stages. Issue pops ready instructions in
+ * age order subject to issue width, FU availability, memory ordering
+ * and the selection-throttling barrier (the paper's no-select bit,
+ * Figure 2). Writeback completes executions, drives the result bus and
+ * wakeup network, resolves branches and triggers recovery.
+ */
+
+#include "common/logging.hh"
+#include "core.hh"
+
+namespace stsim
+{
+
+void
+Core::issueStage()
+{
+    unsigned issued = 0;
+    // Entries skipped for structural reasons are re-queued after the
+    // scan; the scan bound keeps one cycle's work linear in width.
+    std::vector<InstSeq> deferred;
+
+    const InstSeq barrier = deps_.controller->noSelectBarrier();
+
+    while (issued < cfg_.issueWidth && !readyQ_.empty()) {
+        InstSeq seq = readyQ_.top();
+        readyQ_.pop();
+        auto slot = slotOf(seq);
+        if (!slot)
+            continue; // squashed: lazy removal
+        DynInst &di = inst(*slot);
+        if (!di.inWindow || di.issued || di.waitingOn)
+            continue; // stale entry
+
+        // Selection throttling: entries younger than the oldest
+        // outstanding no-select branch keep their request line low.
+        // The ready queue pops in age order, so every remaining entry
+        // is also younger: stop selecting.
+        if (barrier != kInvalidSeq && di.seq > barrier) {
+            ++stats_.noSelectSkips;
+            deferred.push_back(seq);
+            break;
+        }
+
+        FuType fu = fuTypeFor(di.ti.cls);
+        if (!fuPool_.available(fu)) {
+            deferred.push_back(seq);
+            continue;
+        }
+
+        if (di.ti.isLoad() && !loadMayIssue(di)) {
+            ++stats_.loadsBlockedByStore;
+            blockedLoads_.push_back(seq);
+            continue;
+        }
+
+        // Issue.
+        fuPool_.claim(fu);
+        di.issued = true;
+        ++issued;
+        ++stats_.issuedInsts;
+        const bool wp = di.wrongPath;
+        if (wp)
+            ++stats_.issuedWrongPath;
+
+        deps_.power->record(PUnit::Window, 1, wp ? 1 : 0); // operand read
+        deps_.power->record(PUnit::Alu, 1, wp ? 1 : 0);
+
+        unsigned lat =
+            CoreConfig::baseLatency(di.ti.cls) + cfg_.extraExecLatency;
+        if (di.ti.isLoad()) {
+            deps_.power->record(PUnit::Lsq, 1, wp ? 1 : 0);
+            if (tryForward(di)) {
+                ++stats_.loadsForwarded;
+                lat += 1;
+            } else {
+                auto r = deps_.memory->accessData(di.ti.memAddr, false,
+                                                  wp);
+                deps_.power->record(PUnit::DCache, 1, wp ? 1 : 0);
+                if (r.l2Accessed)
+                    deps_.power->record(PUnit::DCache2, 1, wp ? 1 : 0);
+                lat += r.latency;
+            }
+        } else if (di.ti.isStore()) {
+            // Address generation; the cache write happens at commit.
+            deps_.power->record(PUnit::Lsq, 1, wp ? 1 : 0);
+        }
+
+        di.completeAt = now_ + lat;
+        wbQ_.push({di.completeAt, di.seq});
+    }
+
+    for (InstSeq s : deferred)
+        readyQ_.push(s);
+}
+
+void
+Core::writebackStage()
+{
+    unsigned done = 0;
+    while (!wbQ_.empty() && wbQ_.top().at <= now_ &&
+           done < cfg_.issueWidth) {
+        WbEvent ev = wbQ_.top();
+        auto slot = slotOf(ev.seq);
+        if (!slot) {
+            wbQ_.pop(); // squashed in flight
+            continue;
+        }
+        DynInst &di = inst(*slot);
+        stsim_assert(di.issued && !di.completed,
+                     "bogus writeback event for seq %llu",
+                     static_cast<unsigned long long>(ev.seq));
+        wbQ_.pop();
+        ++done;
+
+        di.completed = true;
+        const bool wp = di.wrongPath;
+        deps_.power->record(PUnit::ResultBus, 1, wp ? 1 : 0);
+
+        wakeConsumers(di);
+
+        if (di.ti.isStore()) {
+            di.addrReady = true;
+            unknownStoreAddrs_.erase(di.seq);
+            releaseBlockedLoads();
+        }
+
+        if (di.ti.isBranch()) {
+            // Resolution: release any throttling heuristic this branch
+            // triggered, then recover if it was mispredicted.
+            if (di.confAssigned)
+                deps_.controller->onBranchResolved(di.seq);
+            if (di.seq == guardBranchSeq_)
+                resolveGuardBranch(di);
+        }
+    }
+}
+
+} // namespace stsim

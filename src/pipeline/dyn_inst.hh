@@ -1,0 +1,113 @@
+/**
+ * @file
+ * In-flight dynamic instruction state (one RUU/pipe entry).
+ */
+
+#ifndef STSIM_PIPELINE_DYN_INST_HH
+#define STSIM_PIPELINE_DYN_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/bpred_unit.hh"
+#include "common/types.hh"
+#include "confidence/estimator.hh"
+#include "trace/instruction.hh"
+
+namespace stsim
+{
+
+/** Functional-unit classes for issue-port accounting. */
+enum class FuType : std::uint8_t
+{
+    IntAlu,
+    IntMult,
+    MemPort,
+    FpAlu,
+    FpMult,
+};
+
+/** Number of FU classes. */
+inline constexpr std::size_t kNumFuTypes = 5;
+
+/** FU class an instruction issues to. */
+constexpr FuType
+fuTypeFor(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntMult: return FuType::IntMult;
+      case InstClass::Load:
+      case InstClass::Store: return FuType::MemPort;
+      case InstClass::FpAlu: return FuType::FpAlu;
+      case InstClass::FpMult: return FuType::FpMult;
+      default: return FuType::IntAlu;
+    }
+}
+
+/**
+ * One in-flight instruction. Lives in a fixed slot pool; flows through
+ * the fetch pipe, decode pipe and RUU by slot index.
+ */
+struct DynInst
+{
+    TraceInst ti;
+    InstSeq seq = kInvalidSeq;
+    bool wrongPath = false;
+
+    /// @name Pipe timing
+    /// @{
+    Cycle decodeReady = 0;   ///< cycle it reaches the decode stage
+    Cycle dispatchReady = 0; ///< cycle it reaches dispatch
+    Cycle completeAt = 0;    ///< cycle its result is available
+    /// @}
+
+    /// @name Status flags
+    /// @{
+    bool inWindow = false; ///< dispatched into the RUU
+    bool issued = false;
+    bool completed = false;
+    /// @}
+
+    /// @name Dependences
+    /// @{
+    std::uint8_t waitingOn = 0;  ///< outstanding source operands
+    std::vector<InstSeq> consumers; ///< wakeup list (seq-addressed)
+    /// @}
+
+    /// @name Branch state
+    /// @{
+    BranchPrediction pred;
+    bool predicted = false;    ///< pred is valid
+    bool mispredicted = false; ///< known at fetch (simulator oracle)
+    ConfLevel conf = ConfLevel::VHC;
+    bool confAssigned = false;
+    /// @}
+
+    /// @name Memory state
+    /// @{
+    bool addrReady = false; ///< store address computed
+    /// @}
+
+    /** Reset for slot reuse (keeps consumer vector capacity). */
+    void
+    reset()
+    {
+        ti = TraceInst{};
+        seq = kInvalidSeq;
+        wrongPath = false;
+        decodeReady = dispatchReady = completeAt = 0;
+        inWindow = issued = completed = false;
+        waitingOn = 0;
+        consumers.clear();
+        pred = BranchPrediction{};
+        predicted = false;
+        mispredicted = false;
+        conf = ConfLevel::VHC;
+        confAssigned = false;
+        addrReady = false;
+    }
+};
+
+} // namespace stsim
+
+#endif // STSIM_PIPELINE_DYN_INST_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-cycle functional-unit issue-port accounting. All units are fully
+ * pipelined (SimpleScalar-style issue rates), so availability is a
+ * per-cycle counter per FU class.
+ */
+
+#ifndef STSIM_PIPELINE_FU_POOL_HH
+#define STSIM_PIPELINE_FU_POOL_HH
+
+#include <array>
+
+#include "pipeline/core_config.hh"
+#include "pipeline/dyn_inst.hh"
+
+namespace stsim
+{
+
+/** Issue-port tracker, reset every cycle. */
+class FuPool
+{
+  public:
+    explicit FuPool(const CoreConfig &cfg)
+    {
+        limit_[static_cast<std::size_t>(FuType::IntAlu)] = cfg.numIntAlu;
+        limit_[static_cast<std::size_t>(FuType::IntMult)] =
+            cfg.numIntMult;
+        limit_[static_cast<std::size_t>(FuType::MemPort)] =
+            cfg.numMemPorts;
+        limit_[static_cast<std::size_t>(FuType::FpAlu)] = cfg.numFpAlu;
+        limit_[static_cast<std::size_t>(FuType::FpMult)] = cfg.numFpMult;
+    }
+
+    /** Start a new cycle. */
+    void newCycle() { used_.fill(0); }
+
+    /** True when a unit of @p type can accept an instruction now. */
+    bool
+    available(FuType type) const
+    {
+        auto i = static_cast<std::size_t>(type);
+        return used_[i] < limit_[i];
+    }
+
+    /** Claim a unit of @p type (must be available). */
+    void claim(FuType type) { ++used_[static_cast<std::size_t>(type)]; }
+
+    /** Units of @p type claimed this cycle. */
+    unsigned used(FuType type) const
+    {
+        return used_[static_cast<std::size_t>(type)];
+    }
+
+    /** Configured count for @p type. */
+    unsigned limit(FuType type) const
+    {
+        return limit_[static_cast<std::size_t>(type)];
+    }
+
+    /** Total configured units across classes. */
+    unsigned
+    totalUnits() const
+    {
+        unsigned t = 0;
+        for (auto l : limit_)
+            t += l;
+        return t;
+    }
+
+  private:
+    std::array<unsigned, kNumFuTypes> limit_{};
+    std::array<unsigned, kNumFuTypes> used_{};
+};
+
+} // namespace stsim
+
+#endif // STSIM_PIPELINE_FU_POOL_HH

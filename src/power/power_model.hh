@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Wattch-style architecture-level power model: pipeline stages record
+ * per-unit access counts each cycle; the model converts them to power
+ * under the configured conditional-clocking style and accumulates
+ * energy, split into useful and mis-speculated (wasted) parts.
+ */
+
+#ifndef STSIM_POWER_POWER_MODEL_HH
+#define STSIM_POWER_POWER_MODEL_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "power/power_params.hh"
+#include "power/units.hh"
+
+namespace stsim
+{
+
+/**
+ * Cycle-driven power/energy accumulator.
+ *
+ * Usage per simulated cycle:
+ *   beginCycle(); record(unit, n, n_wrong)...; endCycle();
+ *
+ * Under cc3 a unit with activity a (accesses clamped by its port
+ * count) dissipates peak*(idle + (1-idle)*a); the clock network's
+ * activity is the mean activity of all other units. Wasted-energy
+ * attribution follows the paper's Table 1 accounting: each cycle a
+ * unit's whole dissipation is split across its accesses, so wrong-path
+ * work owns its proportional share (cycles with no accesses attribute
+ * to nobody).
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params);
+
+    /** Start a new cycle (clears per-cycle activity). */
+    void beginCycle();
+
+    /**
+     * Record @p count accesses to @p unit this cycle, of which
+     * @p wrong_count were made on behalf of wrong-path instructions.
+     */
+    void record(PUnit unit, double count, double wrong_count = 0.0);
+
+    /** Close the cycle: convert activity to power and accumulate. */
+    void endCycle();
+
+    /// @name Results
+    /// @{
+    Counter cycles() const { return cycles_; }
+    double totalEnergy() const { return totalEnergy_; }      ///< joules
+    double wastedEnergy() const { return totalWasted_; }     ///< joules
+    double unitEnergy(PUnit u) const
+    {
+        return unitEnergy_[static_cast<std::size_t>(u)];
+    }
+    double unitWastedEnergy(PUnit u) const
+    {
+        return unitWasted_[static_cast<std::size_t>(u)];
+    }
+    /** Average power over all cycles so far (watts). */
+    double avgPower() const;
+    /** Elapsed simulated seconds. */
+    double seconds() const
+    {
+        return static_cast<double>(cycles_) * params_.cycleSeconds();
+    }
+    const PowerParams &params() const { return params_; }
+    /** Mean activity factor of a unit across the run (diagnostics). */
+    double meanActivity(PUnit u) const;
+    /// @}
+
+    /** Zero all accumulated energy/cycle statistics (end of warmup). */
+    void resetStats();
+
+  private:
+    PowerParams params_;
+    std::array<double, kNumPUnits> cycleCount_{};
+    std::array<double, kNumPUnits> cycleWrong_{};
+    std::array<double, kNumPUnits> unitEnergy_{};
+    std::array<double, kNumPUnits> unitWasted_{};
+    std::array<double, kNumPUnits> activitySum_{};
+    Counter cycles_ = 0;
+    double totalEnergy_ = 0.0;
+    double totalWasted_ = 0.0;
+};
+
+} // namespace stsim
+
+#endif // STSIM_POWER_POWER_MODEL_HH

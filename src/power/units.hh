@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The power-metered hardware units, matching the rows of the paper's
+ * Table 1 (which are Wattch v1.02's block names).
+ */
+
+#ifndef STSIM_POWER_UNITS_HH
+#define STSIM_POWER_UNITS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace stsim
+{
+
+/** Hardware blocks metered by the power model (Table 1 rows). */
+enum class PUnit : std::uint8_t
+{
+    ICache,    ///< instruction cache (part of the fetch stage)
+    Bpred,     ///< branch predictor + BTB + confidence estimator
+    Regfile,   ///< architectural register file
+    Rename,    ///< rename/dependence-check logic (decode stage)
+    Window,    ///< RUU: wakeup, selection, operand storage
+    Lsq,       ///< load/store queue
+    Alu,       ///< integer + FP functional units
+    DCache,    ///< L1 data cache
+    DCache2,   ///< unified L2
+    ResultBus, ///< result/forwarding buses
+    Clock,     ///< global clock network
+};
+
+/** Number of metered units. */
+inline constexpr std::size_t kNumPUnits = 11;
+
+/** All units, for iteration. */
+inline constexpr std::array<PUnit, kNumPUnits> kAllPUnits = {
+    PUnit::ICache, PUnit::Bpred,   PUnit::Regfile, PUnit::Rename,
+    PUnit::Window, PUnit::Lsq,     PUnit::Alu,     PUnit::DCache,
+    PUnit::DCache2, PUnit::ResultBus, PUnit::Clock,
+};
+
+/** Wattch block name of a unit (Table 1 spelling). */
+const char *punitName(PUnit u);
+
+} // namespace stsim
+
+#endif // STSIM_POWER_UNITS_HH

@@ -1,0 +1,112 @@
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+SpeculationController::SpeculationController(const SpecControlConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.mode == SpecControlMode::PipelineGating)
+        stsim_assert(cfg_.gatingThreshold >= 1, "bad gating threshold");
+}
+
+void
+SpeculationController::onCondBranchFetched(InstSeq seq, ConfLevel lvl)
+{
+    if (cfg_.mode == SpecControlMode::None)
+        return;
+    stsim_assert(tracked_.empty() || tracked_.back().seq < seq,
+                 "branches must arrive in fetch order");
+    tracked_.push_back({seq, lvl});
+    if (isLowConfidence(lvl))
+        ++lowCount_;
+    recompute();
+}
+
+void
+SpeculationController::onBranchResolved(InstSeq seq)
+{
+    if (cfg_.mode == SpecControlMode::None)
+        return;
+    auto it = std::find_if(tracked_.begin(), tracked_.end(),
+                           [seq](const Tracked &t) {
+                               return t.seq == seq;
+                           });
+    if (it == tracked_.end())
+        return; // not a tracked branch (or already squashed)
+    if (isLowConfidence(it->lvl))
+        --lowCount_;
+    tracked_.erase(it);
+    recompute();
+}
+
+void
+SpeculationController::squashYoungerThan(InstSeq seq)
+{
+    if (cfg_.mode == SpecControlMode::None)
+        return;
+    while (!tracked_.empty() && tracked_.back().seq > seq) {
+        if (isLowConfidence(tracked_.back().lvl))
+            --lowCount_;
+        tracked_.pop_back();
+    }
+    recompute();
+}
+
+void
+SpeculationController::recompute()
+{
+    fetchLevel_ = BandwidthLevel::Full;
+    decodeLevel_ = BandwidthLevel::Full;
+    noSelectBarrier_ = kInvalidSeq;
+    decodeBarrier_ = kInvalidSeq;
+
+    switch (cfg_.mode) {
+      case SpecControlMode::None:
+        return;
+      case SpecControlMode::PipelineGating:
+        if (lowCount_ > cfg_.gatingThreshold)
+            fetchLevel_ = BandwidthLevel::Stall;
+        return;
+      case SpecControlMode::Selective:
+        for (const Tracked &t : tracked_) {
+            const ThrottleAction &a = cfg_.policy.action(t.lvl);
+            fetchLevel_ = maxRestriction(fetchLevel_, a.fetch);
+            decodeLevel_ = maxRestriction(decodeLevel_, a.decode);
+            if (a.noSelect && noSelectBarrier_ == kInvalidSeq)
+                noSelectBarrier_ = t.seq; // oldest such branch
+            if (a.decode != BandwidthLevel::Full &&
+                decodeBarrier_ == kInvalidSeq) {
+                decodeBarrier_ = t.seq;
+            }
+        }
+        return;
+    }
+}
+
+bool
+SpeculationController::fetchActive(Cycle cycle) const
+{
+    return bandwidthActive(fetchLevel_, cycle);
+}
+
+bool
+SpeculationController::decodeActive(Cycle cycle) const
+{
+    return bandwidthActive(decodeLevel_, cycle);
+}
+
+void
+SpeculationController::tickStats(Cycle cycle)
+{
+    if (!fetchActive(cycle))
+        ++fetchGatedCycles_;
+    if (!decodeActive(cycle))
+        ++decodeGatedCycles_;
+}
+
+} // namespace stsim

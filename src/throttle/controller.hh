@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Speculation controller: tracks outstanding low-confidence branches
+ * and turns a ThrottlePolicy (Selective Throttling) or a gating
+ * threshold (Pipeline Gating) into per-cycle fetch/decode gating
+ * decisions and the selection-throttling barrier.
+ */
+
+#ifndef STSIM_THROTTLE_CONTROLLER_HH
+#define STSIM_THROTTLE_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "confidence/estimator.hh"
+#include "throttle/policy.hh"
+
+namespace stsim
+{
+
+/** Which speculation-control mechanism is active. */
+enum class SpecControlMode : std::uint8_t
+{
+    None,            ///< baseline: no speculation control
+    Selective,       ///< the paper's Selective Throttling
+    PipelineGating,  ///< Manne et al.: stall fetch while M > threshold
+};
+
+/** Controller configuration. */
+struct SpecControlConfig
+{
+    SpecControlMode mode = SpecControlMode::None;
+    ThrottlePolicy policy;        ///< Selective mode only
+    unsigned gatingThreshold = 2; ///< PipelineGating mode only
+};
+
+/**
+ * Tracks every unresolved conditional branch that was assigned a
+ * confidence level at fetch and derives the currently active throttle
+ * state.
+ *
+ * Selective mode: the active fetch/decode restriction is the
+ * element-wise most restrictive action over all outstanding LC/VLC
+ * branches, which realizes §4.2's monotonic-upgrade rule (a younger
+ * LC/VLC branch can only tighten the throttle; resolutions release
+ * it). The selection-throttling barrier is the oldest outstanding
+ * branch whose action carries no-select: window entries younger than
+ * the barrier must not raise their selection request.
+ *
+ * PipelineGating mode: fetch is fully gated while the number of
+ * outstanding low-confidence (LC/VLC) branches exceeds the gating
+ * threshold (paper configuration: JRS estimator, threshold 2).
+ */
+class SpeculationController
+{
+  public:
+    explicit SpeculationController(const SpecControlConfig &cfg);
+
+    /** A conditional branch with confidence @p lvl entered the pipe. */
+    void onCondBranchFetched(InstSeq seq, ConfLevel lvl);
+
+    /** Branch @p seq resolved (executed); releases its heuristic. */
+    void onBranchResolved(InstSeq seq);
+
+    /** Squash: drop tracked branches younger than @p seq. */
+    void squashYoungerThan(InstSeq seq);
+
+    /** May fetch do work this cycle? */
+    bool fetchActive(Cycle cycle) const;
+
+    /** May decode do work this cycle? */
+    bool decodeActive(Cycle cycle) const;
+
+    /**
+     * Selection-throttling barrier: window entries with seq strictly
+     * greater than this are not selectable. kInvalidSeq when no
+     * no-select heuristic is active (all entries selectable).
+     */
+    InstSeq noSelectBarrier() const { return noSelectBarrier_; }
+
+    /**
+     * Decode-throttling barrier: the decode gate applies only to
+     * instructions younger than the oldest branch that triggered a
+     * decode restriction -- the trigger itself (and everything older)
+     * must drain, or it could never resolve and release the gate.
+     * kInvalidSeq when decode is unrestricted.
+     */
+    InstSeq decodeBarrier() const { return decodeBarrier_; }
+
+    /** Current fetch restriction level (Selective mode). */
+    BandwidthLevel fetchLevel() const { return fetchLevel_; }
+
+    /** Current decode restriction level (Selective mode). */
+    BandwidthLevel decodeLevel() const { return decodeLevel_; }
+
+    /** Outstanding tracked branches (diagnostics). */
+    std::size_t outstanding() const { return tracked_.size(); }
+
+    /** Outstanding LC/VLC branches (Pipeline Gating's M). */
+    unsigned lowConfOutstanding() const { return lowCount_; }
+
+    const SpecControlConfig &config() const { return cfg_; }
+
+    /// @name Statistics
+    /// @{
+    Counter fetchGatedCycles() const { return fetchGatedCycles_; }
+    Counter decodeGatedCycles() const { return decodeGatedCycles_; }
+    /** Called by the core once per cycle to accumulate gating stats. */
+    void tickStats(Cycle cycle);
+    /// @}
+
+  private:
+    void recompute();
+
+    struct Tracked
+    {
+        InstSeq seq;
+        ConfLevel lvl;
+    };
+
+    SpecControlConfig cfg_;
+    std::vector<Tracked> tracked_; // ordered by seq (fetch order)
+    unsigned lowCount_ = 0;
+    BandwidthLevel fetchLevel_ = BandwidthLevel::Full;
+    BandwidthLevel decodeLevel_ = BandwidthLevel::Full;
+    InstSeq noSelectBarrier_ = kInvalidSeq;
+    InstSeq decodeBarrier_ = kInvalidSeq;
+    Counter fetchGatedCycles_ = 0;
+    Counter decodeGatedCycles_ = 0;
+};
+
+} // namespace stsim
+
+#endif // STSIM_THROTTLE_CONTROLLER_HH

@@ -1,0 +1,127 @@
+#include "policy.hh"
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+const char *
+bandwidthLevelName(BandwidthLevel lvl)
+{
+    switch (lvl) {
+      case BandwidthLevel::Full: return "1/1";
+      case BandwidthLevel::Half: return "1/2";
+      case BandwidthLevel::Quarter: return "1/4";
+      case BandwidthLevel::Stall: return "0";
+    }
+    return "?";
+}
+
+bool
+bandwidthActive(BandwidthLevel lvl, Cycle cycle)
+{
+    switch (lvl) {
+      case BandwidthLevel::Full: return true;
+      case BandwidthLevel::Half: return (cycle & 1) == 0;
+      case BandwidthLevel::Quarter: return (cycle & 3) == 0;
+      case BandwidthLevel::Stall: return false;
+    }
+    return true;
+}
+
+ThrottlePolicy
+ThrottlePolicy::make(std::string name, ThrottleAction lc,
+                     ThrottleAction vlc)
+{
+    ThrottlePolicy p;
+    p.name = std::move(name);
+    p.byLevel[static_cast<std::size_t>(ConfLevel::LC)] = lc;
+    p.byLevel[static_cast<std::size_t>(ConfLevel::VLC)] = vlc;
+    return p;
+}
+
+namespace
+{
+
+constexpr BandwidthLevel F = BandwidthLevel::Full;
+constexpr BandwidthLevel H = BandwidthLevel::Half;
+constexpr BandwidthLevel Q = BandwidthLevel::Quarter;
+constexpr BandwidthLevel S = BandwidthLevel::Stall;
+
+/** {fetch, decode, noSelect} shorthand. */
+ThrottleAction
+act(BandwidthLevel fetch, BandwidthLevel decode = F,
+    bool no_select = false)
+{
+    return ThrottleAction{fetch, decode, no_select};
+}
+
+} // namespace
+
+ThrottlePolicy
+ThrottlePolicy::byName(const std::string &name)
+{
+    // Figure 3: fetch throttling only.
+    if (name == "A1")
+        return make(name, act(H), act(H));
+    if (name == "A2")
+        return make(name, act(H), act(Q));
+    if (name == "A3")
+        return make(name, act(H), act(S));
+    if (name == "A4")
+        return make(name, act(Q), act(Q));
+    if (name == "A5")
+        return make(name, act(Q), act(S));
+    if (name == "A6")
+        return make(name, act(S), act(S));
+
+    // Figure 4: decode throttling; fetch always stalls on VLC.
+    if (name == "B1")
+        return make(name, act(F, H), act(S));
+    if (name == "B2")
+        return make(name, act(F, Q), act(S));
+    if (name == "B3")
+        return make(name, act(F, S), act(S));
+    if (name == "B4")
+        return make(name, act(H, H), act(S));
+    if (name == "B5")
+        return make(name, act(H, Q), act(S));
+    if (name == "B6")
+        return make(name, act(H, S), act(S));
+    if (name == "B7")
+        return make(name, act(Q, Q), act(S));
+    if (name == "B8")
+        return make(name, act(Q, S), act(S));
+
+    // Figure 5: selection throttling added to the Figure 3/4 winners.
+    if (name == "C1") // = A5
+        return make(name, act(Q), act(S));
+    if (name == "C2") // = A5 + no-select on LC (the headline config)
+        return make(name, act(Q, F, true), act(S));
+    if (name == "C3") // = B5
+        return make(name, act(H, Q), act(S));
+    if (name == "C4")
+        return make(name, act(H, Q, true), act(S));
+    if (name == "C5") // = B7
+        return make(name, act(Q, Q), act(S));
+    if (name == "C6")
+        return make(name, act(Q, Q, true), act(S));
+
+    if (name == "none" || name == "baseline")
+        return ThrottlePolicy{};
+
+    stsim_fatal("unknown throttle policy '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+ThrottlePolicy::experimentNames()
+{
+    static const std::vector<std::string> names = {
+        "A1", "A2", "A3", "A4", "A5", "A6",
+        "B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8",
+        "C1", "C2", "C3", "C4", "C5", "C6",
+    };
+    return names;
+}
+
+} // namespace stsim

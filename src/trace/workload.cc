@@ -1,0 +1,328 @@
+#include "workload.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+namespace
+{
+
+/** Maximum shadow call-stack depth; deeper calls drop the oldest frame. */
+constexpr std::size_t kMaxCallDepth = 64;
+
+/** Deterministic Pattern-branch outcome from history bits and a salt. */
+bool
+patternOutcome(std::uint64_t hist, std::uint8_t bits, std::uint32_t salt)
+{
+    std::uint64_t key = (hist & lowMask(bits)) * 0x9e3779b97f4a7c15ull;
+    return hashMix(key ^ salt) & 1;
+}
+
+/** Fill the common fields of a body-op TraceInst. */
+TraceInst
+makeBodyInst(const StaticBlock &blk, std::uint32_t op_idx, Addr mem_addr)
+{
+    const StaticOp &op = blk.ops[op_idx];
+    TraceInst ti;
+    ti.pc = blk.pc + 4 * op_idx;
+    ti.cls = op.cls;
+    ti.srcDist[0] = op.srcDist[0];
+    ti.srcDist[1] = op.srcDist[1];
+    ti.hasDest = op.hasDest;
+    ti.memAddr = mem_addr;
+    ti.npc = ti.pc + 4;
+    return ti;
+}
+
+} // namespace
+
+//
+// Workload (correct path)
+//
+
+Workload::Workload(std::shared_ptr<const StaticProgram> program,
+                   std::uint64_t run_seed)
+    : program_(std::move(program)),
+      rng_(run_seed ^ 0xabcd'ef01'2345'6789ull),
+      loopCount_(program_->numBlocks(), 0),
+      chaosWild_(program_->numBlocks(), 0),
+      biasStreak_(program_->numBlocks(), 0),
+      streamPos_(program_->numArrayRegions(), 0)
+{
+    stsim_assert(program_ != nullptr, "null program");
+}
+
+const std::string &
+Workload::name() const
+{
+    return program_->profile().name;
+}
+
+bool
+Workload::evalCondBranch(std::uint32_t block_idx)
+{
+    const StaticBlock &b = program_->block(block_idx);
+    switch (b.behavior) {
+      case BranchBehavior::Loop: {
+        std::uint16_t &ctr = loopCount_[block_idx];
+        if (++ctr >= b.loopPeriod) {
+            ctr = 0;
+            return false; // loop exit: fall through
+        }
+        return true; // backward taken: continue looping
+      }
+      case BranchBehavior::Pattern:
+        return patternOutcome(globalHist_, b.patternBits, b.patternSalt);
+      case BranchBehavior::Biased: {
+        // The uncommon outcome arrives in short streaks (e.g. a run of
+        // loop-carried exceptions) rather than as isolated flips:
+        // misses cluster, which is what confidence estimators detect.
+        std::uint8_t &streak = biasStreak_[block_idx];
+        bool common = b.takenP >= 0.5f;
+        double miss_p = common ? 1.0 - b.takenP : b.takenP;
+        if (streak > 0) {
+            --streak;
+            return !common;
+        }
+        if (rng_.chance(miss_p / 4.0)) {
+            streak = static_cast<std::uint8_t>(
+                rng_.between(2, 6)); // this one + 2..6 more
+            return !common;
+        }
+        return common;
+      }
+      case BranchBehavior::Chaotic: {
+        // Regime-switching: chaotic branches alternate between a calm,
+        // strongly-biased phase and a wild phase near p=0.5 (real
+        // data-dependent branches misbehave in bursts, which is the
+        // clustering confidence estimators detect).
+        std::uint8_t &wild = chaosWild_[block_idx];
+        if (wild) {
+            if (rng_.chance(1.0 / 50))
+                wild = 0;
+            return rng_.chance(b.takenP);
+        }
+        if (rng_.chance(1.0 / 100))
+            wild = 1;
+        return rng_.chance(0.96);
+      }
+    }
+    return false;
+}
+
+Addr
+Workload::memAddress(const StaticOp &op)
+{
+    switch (op.memPattern) {
+      case MemPattern::Stack:
+        // Hot small region; word-granular uniform within it.
+        return op.regionBase + 8 * rng_.below(op.regionSize / 8);
+      case MemPattern::Stream: {
+        std::uint32_t &pos = streamPos_[op.memStateIdx];
+        Addr a = op.regionBase + pos;
+        pos += op.stride;
+        if (pos + op.stride > op.regionSize)
+            pos = 0;
+        return a;
+      }
+      case MemPattern::Random: {
+        // Pointer-chasing style: mostly within a hot heap region,
+        // occasionally anywhere in the footprint.
+        const BenchmarkProfile &p = program_->profile();
+        Addr hot_bytes = static_cast<Addr>(p.hotDataKB) * 1024;
+        if (rng_.chance(p.hotDataFrac))
+            return op.regionBase + 8 * rng_.below(hot_bytes / 8);
+        return op.regionBase + 8 * rng_.below(op.regionSize / 8);
+      }
+    }
+    return op.regionBase;
+}
+
+TraceInst
+Workload::next()
+{
+    const StaticBlock &b = program_->block(curBlock_);
+    ++generated_;
+
+    if (opIdx_ < b.ops.size()) {
+        const StaticOp &op = b.ops[opIdx_];
+        Addr mem = isMemory(op.cls) ? memAddress(op) : 0;
+        TraceInst ti = makeBodyInst(b, opIdx_, mem);
+        ++opIdx_;
+        return ti;
+    }
+
+    // Terminator.
+    TraceInst ti;
+    ti.pc = b.termPc();
+    ti.hasDest = false;
+    if (b.term == TermKind::CondBranch) {
+        ti.srcDist[0] = b.termSrcDist[0];
+        ti.srcDist[1] = b.termSrcDist[1];
+    }
+
+    std::uint32_t next_block = b.fallthrough;
+    switch (b.term) {
+      case TermKind::CondBranch: {
+        ti.cls = InstClass::CondBranch;
+        ti.taken = evalCondBranch(curBlock_);
+        globalHist_ = (globalHist_ << 1) | (ti.taken ? 1 : 0);
+        ti.target = program_->block(b.takenTarget).pc;
+        next_block = ti.taken ? b.takenTarget : b.fallthrough;
+        break;
+      }
+      case TermKind::Jump:
+        ti.cls = InstClass::Jump;
+        ti.taken = true;
+        ti.target = program_->block(b.takenTarget).pc;
+        next_block = b.takenTarget;
+        break;
+      case TermKind::Call:
+        ti.cls = InstClass::Call;
+        ti.taken = true;
+        ti.target = program_->block(b.takenTarget).pc;
+        next_block = b.takenTarget;
+        if (callStack_.size() >= kMaxCallDepth)
+            callStack_.erase(callStack_.begin());
+        callStack_.push_back(b.fallthrough);
+        break;
+      case TermKind::Return: {
+        ti.cls = InstClass::Return;
+        ti.taken = true;
+        std::uint32_t ret_block = b.takenTarget;
+        if (!callStack_.empty()) {
+            ret_block = callStack_.back();
+            callStack_.pop_back();
+        }
+        ti.target = program_->block(ret_block).pc;
+        next_block = ret_block;
+        break;
+      }
+    }
+
+    ti.npc = ti.taken ? ti.target
+                      : program_->block(b.fallthrough).pc;
+    curBlock_ = next_block;
+    opIdx_ = 0;
+    return ti;
+}
+
+//
+// WrongPathCursor
+//
+
+WrongPathCursor::WrongPathCursor(const Workload &workload, Addr start_pc,
+                                 std::uint64_t seed)
+    : program_(&workload.program()),
+      rng_(seed ^ 0x5bd1'e995'7b93'cd0full),
+      specHist_(workload.globalHistory())
+{
+    curBlock_ = program_->blockContaining(start_pc);
+    const StaticBlock &b = program_->block(curBlock_);
+    Addr off = (start_pc - b.pc) / 4;
+    opIdx_ = static_cast<std::uint32_t>(off);
+    // A fall-through resume address can point one past the terminator;
+    // clamp onto the next block.
+    if (opIdx_ > b.ops.size()) {
+        curBlock_ = b.fallthrough;
+        opIdx_ = 0;
+    }
+}
+
+TraceInst
+WrongPathCursor::next()
+{
+    const StaticBlock &b = program_->block(curBlock_);
+
+    if (opIdx_ < b.ops.size()) {
+        const StaticOp &op = b.ops[opIdx_];
+        Addr mem = 0;
+        if (isMemory(op.cls)) {
+            // Stateless address approximation with the same locality
+            // class; the architectural stream cursors are untouched.
+            const BenchmarkProfile &p = program_->profile();
+            Addr span = op.regionSize;
+            if (op.memPattern == MemPattern::Random &&
+                rng_.chance(p.hotDataFrac)) {
+                span = static_cast<Addr>(p.hotDataKB) * 1024;
+            } else if (op.memPattern == MemPattern::Stream) {
+                span = op.stride * 64u; // local window of the array
+            }
+            if (span > op.regionSize)
+                span = op.regionSize;
+            mem = op.regionBase + 8 * rng_.below(span / 8);
+        }
+        TraceInst ti = makeBodyInst(b, opIdx_, mem);
+        ++opIdx_;
+        return ti;
+    }
+
+    TraceInst ti;
+    ti.pc = b.termPc();
+    ti.hasDest = false;
+    if (b.term == TermKind::CondBranch) {
+        ti.srcDist[0] = b.termSrcDist[0];
+        ti.srcDist[1] = b.termSrcDist[1];
+    }
+
+    std::uint32_t next_block = b.fallthrough;
+    switch (b.term) {
+      case TermKind::CondBranch: {
+        ti.cls = InstClass::CondBranch;
+        // Stateless behavioural approximation.
+        switch (b.behavior) {
+          case BranchBehavior::Loop:
+            ti.taken = rng_.chance(1.0 - 1.0 / b.loopPeriod);
+            break;
+          case BranchBehavior::Pattern:
+            ti.taken = patternOutcome(specHist_, b.patternBits,
+                                      b.patternSalt);
+            break;
+          case BranchBehavior::Biased:
+          case BranchBehavior::Chaotic:
+            ti.taken = rng_.chance(b.takenP);
+            break;
+        }
+        specHist_ = (specHist_ << 1) | (ti.taken ? 1 : 0);
+        ti.target = program_->block(b.takenTarget).pc;
+        next_block = ti.taken ? b.takenTarget : b.fallthrough;
+        break;
+      }
+      case TermKind::Jump:
+        ti.cls = InstClass::Jump;
+        ti.taken = true;
+        ti.target = program_->block(b.takenTarget).pc;
+        next_block = b.takenTarget;
+        break;
+      case TermKind::Call:
+        ti.cls = InstClass::Call;
+        ti.taken = true;
+        ti.target = program_->block(b.takenTarget).pc;
+        next_block = b.takenTarget;
+        if (callStack_.size() >= kMaxCallDepth)
+            callStack_.erase(callStack_.begin());
+        callStack_.push_back(b.fallthrough);
+        break;
+      case TermKind::Return: {
+        ti.cls = InstClass::Return;
+        ti.taken = true;
+        std::uint32_t ret_block = b.takenTarget;
+        if (!callStack_.empty()) {
+            ret_block = callStack_.back();
+            callStack_.pop_back();
+        }
+        ti.target = program_->block(ret_block).pc;
+        next_block = ret_block;
+        break;
+      }
+    }
+
+    ti.npc = ti.taken ? ti.target : program_->block(b.fallthrough).pc;
+    curBlock_ = next_block;
+    opIdx_ = 0;
+    return ti;
+}
+
+} // namespace stsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Workload walkers over a StaticProgram: the architectural (correct-
+ * path) walker with persistent branch/memory state, and lightweight
+ * wrong-path cursors the fetch unit runs after a misprediction.
+ */
+
+#ifndef STSIM_TRACE_WORKLOAD_HH
+#define STSIM_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/instruction.hh"
+#include "trace/static_program.hh"
+
+namespace stsim
+{
+
+/**
+ * Correct-path instruction generator. Owns all persistent behavioural
+ * state: loop trip counters, the architectural global outcome history
+ * consumed by Pattern branches, stream cursors of memory slots, and the
+ * shadow call stack. Deterministic given (program, seed).
+ */
+class Workload
+{
+  public:
+    /**
+     * @param program Immutable synthetic program (shared).
+     * @param run_seed Seed for this run's stochastic branch outcomes.
+     */
+    Workload(std::shared_ptr<const StaticProgram> program,
+             std::uint64_t run_seed);
+
+    /** Benchmark name from the underlying profile. */
+    const std::string &name() const;
+
+    /** Generate the next correct-path instruction. */
+    TraceInst next();
+
+    /** Architectural global branch-outcome history (LSB = most recent). */
+    std::uint64_t globalHistory() const { return globalHist_; }
+
+    const StaticProgram &program() const { return *program_; }
+
+    /** Total correct-path instructions generated so far. */
+    Counter generated() const { return generated_; }
+
+  private:
+    friend class WrongPathCursor;
+
+    /** Evaluate a conditional branch's outcome, mutating its state. */
+    bool evalCondBranch(std::uint32_t block_idx);
+
+    /** Compute the effective address of a memory slot (mutating). */
+    Addr memAddress(const StaticOp &op);
+
+    std::shared_ptr<const StaticProgram> program_;
+    Rng rng_;
+    std::uint32_t curBlock_ = 0;
+    std::uint32_t opIdx_ = 0;
+    std::uint64_t globalHist_ = 0;
+    Counter generated_ = 0;
+    std::vector<std::uint16_t> loopCount_;   // per block
+    std::vector<std::uint8_t> chaosWild_;    // chaotic regime per block
+    std::vector<std::uint8_t> biasStreak_;   // inverted-outcome streaks
+    std::vector<std::uint32_t> streamPos_;   // per memory slot
+    std::vector<std::uint32_t> callStack_;   // shadow stack (block idx)
+};
+
+/**
+ * Wrong-path instruction generator. Walks the same static program from
+ * the not-taken-in-reality successor of a mispredicted branch, using
+ * stateless approximations of branch behaviour so the architectural
+ * walker's state is never disturbed. Cheap to construct per
+ * misprediction.
+ */
+class WrongPathCursor
+{
+  public:
+    /**
+     * @param workload The owning workload (for program and history).
+     * @param start_pc First wrong-path fetch address (a block boundary
+     *                 or mid-block fall-through address).
+     * @param seed Per-cursor RNG seed (derive from branch seq).
+     */
+    WrongPathCursor(const Workload &workload, Addr start_pc,
+                    std::uint64_t seed);
+
+    /** Generate the next wrong-path instruction. */
+    TraceInst next();
+
+  private:
+    const StaticProgram *program_;
+    Rng rng_;
+    std::uint32_t curBlock_;
+    std::uint32_t opIdx_;
+    std::uint64_t specHist_;
+    std::vector<std::uint32_t> callStack_;
+};
+
+} // namespace stsim
+
+#endif // STSIM_TRACE_WORKLOAD_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: caches, TLB, latency
+ * composition and wrong-path pollution accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/tlb.hh"
+
+using namespace stsim;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c({"t", 1024, 2, 32, 1});
+    EXPECT_FALSE(c.access(0x1000, false, false));
+    EXPECT_TRUE(c.access(0x1000, false, false));
+    EXPECT_TRUE(c.access(0x101F, false, false)); // same 32B line
+    EXPECT_FALSE(c.access(0x1020, false, false)); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets, 2 ways, 32B lines: 128 bytes total.
+    Cache c({"t", 128, 2, 32, 1});
+    // Three lines mapping to set 0 (stride 64).
+    c.access(0x0, false, false);
+    c.access(0x40, false, false);
+    c.access(0x0, false, false);  // refresh line 0
+    c.access(0x80, false, false); // evicts 0x40
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_TRUE(c.probe(0x80));
+}
+
+TEST(Cache, PollutionAccounting)
+{
+    Cache c({"t", 128, 2, 32, 1});
+    c.access(0x0, false, false);  // correct-path fill
+    c.access(0x40, false, false); // correct-path fill
+    // Wrong-path fill evicts a correct-path line.
+    c.access(0x80, false, true);
+    EXPECT_EQ(c.pollutionEvictions(), 1u);
+    EXPECT_EQ(c.wrongPathAccesses(), 1u);
+    // Evicting a wrong-path-filled line is not pollution.
+    c.access(0xC0, false, true);
+    c.access(0x100, false, true);
+    EXPECT_LE(c.pollutionEvictions(), 2u);
+}
+
+TEST(Cache, CorrectPathTouchClearsWrongFillMark)
+{
+    Cache c({"t", 128, 2, 32, 1});
+    c.access(0x0, false, true); // wrong-path fill
+    c.access(0x0, false, false); // correct path adopts the line
+    c.access(0x40, false, false);
+    // Now evicting 0x0 via a wrong-path fill counts as pollution.
+    c.access(0x80, false, true);
+    c.access(0xC0, false, true);
+    EXPECT_GE(c.pollutionEvictions(), 1u);
+}
+
+TEST(Cache, StatsReset)
+{
+    Cache c({"t", 1024, 2, 32, 1});
+    c.access(0x0, false, false);
+    c.resetStats();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.probe(0x0)); // contents survive
+}
+
+TEST(Tlb, HitAfterFill)
+{
+    Tlb tlb(4, 4096, 28);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1FFF)); // same page
+    EXPECT_FALSE(tlb.access(0x2000));
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb tlb(2, 4096, 28);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000);  // refresh page 1
+    tlb.access(0x3000);  // evicts page 2
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Hierarchy, LatencyComposition)
+{
+    MemoryConfig cfg; // Table 3 defaults
+    MemoryHierarchy mh(cfg);
+
+    // Cold: DL1 miss + L2 miss + TLB miss.
+    auto r = mh.accessData(0x1000, false, false);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_FALSE(r.l2Hit);
+    EXPECT_TRUE(r.tlbMiss);
+    EXPECT_EQ(r.latency, 1u + 6u + 18u + 28u);
+
+    // Warm: DL1 hit.
+    r = mh.accessData(0x1000, false, false);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, 1u);
+}
+
+TEST(Hierarchy, L2CatchesL1Misses)
+{
+    MemoryConfig cfg;
+    cfg.dl1.sizeBytes = 128; // tiny DL1 to force misses
+    cfg.dl1.ways = 2;
+    MemoryHierarchy mh(cfg);
+    mh.accessData(0x0, false, false);
+    mh.accessData(0x1000, false, false);
+    mh.accessData(0x2000, false, false);
+    mh.accessData(0x3000, false, false);
+    // 0x0 was evicted from DL1 but lives in L2.
+    auto r = mh.accessData(0x0, false, false);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(r.latency, 1u + 6u);
+}
+
+TEST(Hierarchy, InstFetchPath)
+{
+    MemoryHierarchy mh(MemoryConfig{});
+    auto r = mh.fetchInst(0x400000, false);
+    EXPECT_FALSE(r.l1Hit);
+    r = mh.fetchInst(0x400004, false);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, 1u);
+    EXPECT_EQ(mh.il1().accesses(), 2u);
+}
+
+TEST(Hierarchy, Dl1ExtraLatencyForDeepPipes)
+{
+    MemoryConfig cfg;
+    cfg.dl1ExtraLatency = 2;
+    MemoryHierarchy mh(cfg);
+    mh.accessData(0x1000, false, false);
+    auto r = mh.accessData(0x1000, false, false);
+    EXPECT_EQ(r.latency, 3u); // 1 + 2 extra
+}
+
+/** Property sweep: geometry invariants hold over many shapes. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometry, FillsWholeCapacityWithoutConflicts)
+{
+    auto [size_kb, ways] = GetParam();
+    std::size_t size = static_cast<std::size_t>(size_kb) * 1024;
+    Cache c({"t", size, static_cast<std::size_t>(ways), 32, 1});
+    std::size_t lines = size / 32;
+    // Sequential fill touches each line once: all cold misses.
+    for (std::size_t i = 0; i < lines; ++i)
+        c.access(i * 32, false, false);
+    EXPECT_EQ(c.misses(), lines);
+    // Second pass: everything fits, so everything hits.
+    for (std::size_t i = 0; i < lines; ++i)
+        c.access(i * 32, false, false);
+    EXPECT_EQ(c.misses(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CacheGeometry,
+                         ::testing::Combine(::testing::Values(1, 4, 64,
+                                                              512),
+                                            ::testing::Values(1, 2, 4,
+                                                              8)));

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the common substrate: saturating counters, RNG,
+ * bit utilities, statistics and the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace stsim;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 3);
+    EXPECT_EQ(c.value(), 3u);
+    c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.isMax());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 0);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.isMin());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.isTaken()); // 0
+    c.increment();
+    EXPECT_FALSE(c.isTaken()); // 1
+    c.increment();
+    EXPECT_TRUE(c.isTaken()); // 2
+    c.increment();
+    EXPECT_TRUE(c.isTaken()); // 3
+}
+
+TEST(SatCounter, WeakStates2Bit)
+{
+    EXPECT_FALSE(SatCounter(2, 0).isWeak());
+    EXPECT_TRUE(SatCounter(2, 1).isWeak());
+    EXPECT_TRUE(SatCounter(2, 2).isWeak());
+    EXPECT_FALSE(SatCounter(2, 3).isWeak());
+}
+
+TEST(SatCounter, WiderCounters)
+{
+    SatCounter c(4, 0);
+    EXPECT_EQ(c.maxValue(), 15u);
+    for (int i = 0; i < 100; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 15u);
+    c.set(12);
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter c(3, 200);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.between(3, 6));
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(*seen.begin(), 3u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(BitUtil, PowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(32768), 15u);
+    EXPECT_EQ(floorLog2(33000), 15u);
+    EXPECT_EQ(ceilLog2(33000), 16u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(BitUtil, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0ull);
+    EXPECT_EQ(lowMask(4), 0xFull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(RunningStat, Aggregates)
+{
+    RunningStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamp)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(99); // clamps to last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(StatSet, InsertGetOverwrite)
+{
+    StatSet s;
+    s.set("a", 1.0);
+    s.set("b", 2.0);
+    s.set("a", 3.0);
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_FALSE(s.has("c"));
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.0);
+    EXPECT_DOUBLE_EQ(s.getOr("c", -1.0), -1.0);
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StatSet, PrintsInsertionOrder)
+{
+    StatSet s;
+    s.set("z", 1);
+    s.set("a", 2);
+    std::ostringstream os;
+    s.print(os);
+    EXPECT_EQ(os.str(), "z 1\na 2\n");
+}
+
+TEST(TextTable, FormatsAligned)
+{
+    TextTable t({"col", "x"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-cell", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("| a         | 1 |"), std::string::npos);
+    EXPECT_NE(out.find("| long-cell | 2 |"), std::string::npos);
+}
+
+TEST(TextTable, NumAndPct)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::pct(12.345, 1), "12.3%");
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the confidence estimators (JRS, BPRU-style, perfect)
+ * and the SPEC/PVN metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/bpru.hh"
+#include "confidence/jrs.hh"
+#include "confidence/metrics.hh"
+#include "confidence/perfect.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+DirectionPredictor::Prediction
+strongCounter()
+{
+    return {true, 3, 3};
+}
+
+DirectionPredictor::Prediction
+weakCounter()
+{
+    return {true, 2, 3};
+}
+
+} // namespace
+
+TEST(Jrs, ColdTableIsLowConfidence)
+{
+    JrsEstimator jrs(8 * 1024, 12);
+    EXPECT_EQ(jrs.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::LC);
+}
+
+TEST(Jrs, ReachesHighAfterThresholdCorrect)
+{
+    JrsEstimator jrs(8 * 1024, 12);
+    for (int i = 0; i < 11; ++i)
+        jrs.update(0x1000, 0, true);
+    EXPECT_EQ(jrs.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::LC);
+    jrs.update(0x1000, 0, true); // 12th
+    EXPECT_EQ(jrs.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::HC);
+}
+
+TEST(Jrs, MissResetsCounter)
+{
+    JrsEstimator jrs(8 * 1024, 12);
+    for (int i = 0; i < 15; ++i)
+        jrs.update(0x1000, 0, true);
+    EXPECT_EQ(jrs.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::HC);
+    jrs.update(0x1000, 0, false); // one miss clears the MDC
+    EXPECT_EQ(jrs.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::LC);
+}
+
+TEST(Jrs, HistorySensitiveIndexing)
+{
+    JrsEstimator jrs(8 * 1024, 12);
+    for (int i = 0; i < 15; ++i)
+        jrs.update(0x1000, 0b1010, true);
+    EXPECT_EQ(jrs.estimate(0x1000, 0b1010, strongCounter(), true),
+              ConfLevel::HC);
+    // Different history maps to a different (cold) MDC.
+    EXPECT_EQ(jrs.estimate(0x1000, 0b0101, strongCounter(), true),
+              ConfLevel::LC);
+}
+
+TEST(Jrs, Geometry)
+{
+    JrsEstimator jrs(8 * 1024, 12);
+    EXPECT_EQ(jrs.numEntries(), 16384u); // 2 MDCs per byte
+    EXPECT_EQ(jrs.sizeBytes(), 8192u);
+    EXPECT_EQ(jrs.threshold(), 12u);
+}
+
+TEST(Bpru, LevelMappingMatchesPaper)
+{
+    // 4.3: counter 0-1 VHC, 2-3 HC, 4-5 LC, 6-7 VLC.
+    EXPECT_EQ(BpruEstimator::levelFromCounter(0), ConfLevel::VHC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(1), ConfLevel::VHC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(2), ConfLevel::HC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(3), ConfLevel::HC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(4), ConfLevel::LC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(5), ConfLevel::LC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(6), ConfLevel::VLC);
+    EXPECT_EQ(BpruEstimator::levelFromCounter(7), ConfLevel::VLC);
+}
+
+TEST(Bpru, TableMissFallsBackToPredictorCounter)
+{
+    BpruEstimator bpru(8 * 1024);
+    // Cold table: weak predictor counter => LC, strong => HC (4.3).
+    EXPECT_EQ(bpru.estimate(0x1000, 0, weakCounter(), true),
+              ConfLevel::LC);
+    EXPECT_EQ(bpru.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::HC);
+}
+
+TEST(Bpru, MispredictionsRaiseCounterTowardVlc)
+{
+    BpruEstimator::Params params; // missInc=2, correctDec=1, alloc=4
+    BpruEstimator bpru(8 * 1024, params);
+    bpru.update(0x1000, 0, false); // allocate at 4, then +2 -> 6
+    EXPECT_EQ(bpru.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::VLC);
+}
+
+TEST(Bpru, CorrectPredictionsRecoverConfidence)
+{
+    BpruEstimator bpru(8 * 1024);
+    bpru.update(0x1000, 0, false); // counter 6
+    for (int i = 0; i < 6; ++i)
+        bpru.update(0x1000, 0, true);
+    EXPECT_EQ(bpru.estimate(0x1000, 0, strongCounter(), true),
+              ConfLevel::VHC);
+}
+
+TEST(Bpru, HitRateGrowsWithTraining)
+{
+    BpruEstimator bpru(8 * 1024);
+    bpru.update(0x1000, 0, true);
+    bpru.estimate(0x1000, 0, strongCounter(), true);
+    EXPECT_GT(bpru.hitRate(), 0.0);
+}
+
+TEST(Perfect, LabelsByOracle)
+{
+    PerfectEstimator p;
+    EXPECT_EQ(p.estimate(0, 0, strongCounter(), true), ConfLevel::VHC);
+    EXPECT_EQ(p.estimate(0, 0, strongCounter(), false),
+              ConfLevel::VLC);
+    EXPECT_EQ(p.sizeBytes(), 0u);
+}
+
+TEST(ConfMetrics, SpecAndPvn)
+{
+    ConfMetrics m;
+    // 10 branches: 4 misses (3 labeled low), 6 correct (2 labeled low).
+    for (int i = 0; i < 3; ++i)
+        m.record(ConfLevel::LC, false);
+    m.record(ConfLevel::HC, false);
+    for (int i = 0; i < 2; ++i)
+        m.record(ConfLevel::VLC, true);
+    for (int i = 0; i < 4; ++i)
+        m.record(ConfLevel::VHC, true);
+
+    EXPECT_EQ(m.total(), 10u);
+    EXPECT_EQ(m.misses(), 4u);
+    EXPECT_EQ(m.lowCount(), 5u);
+    EXPECT_DOUBLE_EQ(m.spec(), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(m.pvn(), 3.0 / 5.0);
+}
+
+TEST(ConfMetrics, EmptyIsZero)
+{
+    ConfMetrics m;
+    EXPECT_DOUBLE_EQ(m.spec(), 0.0);
+    EXPECT_DOUBLE_EQ(m.pvn(), 0.0);
+}
+
+TEST(ConfLevels, LowConfidencePredicate)
+{
+    EXPECT_FALSE(isLowConfidence(ConfLevel::VHC));
+    EXPECT_FALSE(isLowConfidence(ConfLevel::HC));
+    EXPECT_TRUE(isLowConfidence(ConfLevel::LC));
+    EXPECT_TRUE(isLowConfidence(ConfLevel::VLC));
+}
+
+TEST(ConfLevels, Names)
+{
+    EXPECT_STREQ(confLevelName(ConfLevel::VHC), "VHC");
+    EXPECT_STREQ(confLevelName(ConfLevel::VLC), "VLC");
+}
+
+/** Property sweep: with any params, the counter stays in [0,7] and the
+ *  level mapping is monotonic in recent misprediction pressure. */
+class BpruParamSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BpruParamSweep, CounterStaysBoundedAndResponsive)
+{
+    auto [inc, dec] = GetParam();
+    BpruEstimator::Params params;
+    params.missInc = inc;
+    params.correctDec = dec;
+    BpruEstimator bpru(4 * 1024, params);
+
+    for (int i = 0; i < 20; ++i)
+        bpru.update(0x1000, 0, false);
+    ConfLevel after_misses =
+        bpru.estimate(0x1000, 0, strongCounter(), true);
+    EXPECT_EQ(after_misses, ConfLevel::VLC); // saturated at 7
+
+    for (int i = 0; i < 40; ++i)
+        bpru.update(0x1000, 0, true);
+    ConfLevel after_correct =
+        bpru.estimate(0x1000, 0, strongCounter(), true);
+    EXPECT_EQ(after_correct, ConfLevel::VHC); // saturated at 0
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UpdateRules, BpruParamSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1u, 2u)));

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the public library layer: SimConfig finalization,
+ * experiment registry, relative metrics and the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/harness.hh"
+#include "core/simulator.hh"
+
+using namespace stsim;
+
+TEST(SimConfig, FinalizeIsIdempotent)
+{
+    SimConfig cfg;
+    cfg.confKind = ConfKind::Bpru;
+    cfg.finalize();
+    double peak = cfg.power.peak(PUnit::Bpred);
+    cfg.finalize();
+    EXPECT_DOUBLE_EQ(cfg.power.peak(PUnit::Bpred), peak)
+        << "double finalize must not re-scale power";
+}
+
+TEST(SimConfig, EstimatorBudgetChargesBpredPower)
+{
+    SimConfig plain;
+    plain.finalize();
+    SimConfig with_ce;
+    with_ce.confKind = ConfKind::Bpru;
+    with_ce.finalize();
+    EXPECT_GT(with_ce.power.peak(PUnit::Bpred),
+              plain.power.peak(PUnit::Bpred));
+}
+
+TEST(SimConfig, DepthPropagatesToDl1Latency)
+{
+    SimConfig cfg;
+    cfg.pipelineDepth = 28;
+    cfg.finalize();
+    EXPECT_GT(cfg.memory.dl1ExtraLatency, 0u);
+    EXPECT_EQ(cfg.memory.dl1ExtraLatency, cfg.core.extraDl1Latency);
+}
+
+TEST(Experiment, RegistryKnowsPaperNames)
+{
+    EXPECT_EQ(Experiment::byName("baseline").confKind, ConfKind::None);
+
+    Experiment c2 = Experiment::byName("C2");
+    EXPECT_EQ(c2.confKind, ConfKind::Bpru);
+    EXPECT_EQ(c2.specControl.mode, SpecControlMode::Selective);
+    EXPECT_TRUE(
+        c2.specControl.policy.action(ConfLevel::LC).noSelect);
+
+    Experiment pg = Experiment::byName("PG");
+    EXPECT_EQ(pg.confKind, ConfKind::Jrs);
+    EXPECT_EQ(pg.specControl.mode, SpecControlMode::PipelineGating);
+    EXPECT_EQ(pg.specControl.gatingThreshold, 2u);
+
+    Experiment of = Experiment::byName("oracle-fetch");
+    EXPECT_EQ(of.oracle, OracleMode::OracleFetch);
+}
+
+TEST(Experiment, FigureSeriesSizes)
+{
+    EXPECT_EQ(Experiment::figure3Series().size(), 7u); // A1..A6 + PG
+    EXPECT_EQ(Experiment::figure4Series().size(), 9u); // B1..B8 + PG
+    EXPECT_EQ(Experiment::figure5Series().size(), 7u); // C1..C6 + PG
+    EXPECT_EQ(Experiment::figure3Series().back().name, "PG");
+}
+
+TEST(Experiment, ApplyToSetsOracleAndControl)
+{
+    SimConfig cfg;
+    Experiment::byName("oracle-select").applyTo(cfg);
+    EXPECT_EQ(cfg.core.oracle, OracleMode::OracleSelect);
+    Experiment::byName("A5").applyTo(cfg);
+    EXPECT_EQ(cfg.core.oracle, OracleMode::None);
+    EXPECT_EQ(cfg.specControl.mode, SpecControlMode::Selective);
+}
+
+TEST(RelativeMetrics, Arithmetic)
+{
+    SimResults base;
+    base.ipc = 1.0;
+    base.avgPowerW = 50.0;
+    base.energyJ = 10.0;
+    base.edProduct = 100.0;
+    SimResults exp = base;
+    exp.ipc = 0.95;
+    exp.avgPowerW = 40.0;
+    exp.energyJ = 8.0;
+    exp.edProduct = 90.0;
+
+    RelativeMetrics m = RelativeMetrics::compute(base, exp);
+    EXPECT_NEAR(m.speedup, 0.95, 1e-12);
+    EXPECT_NEAR(m.powerSavings, 20.0, 1e-12);
+    EXPECT_NEAR(m.energySavings, 20.0, 1e-12);
+    EXPECT_NEAR(m.edImprovement, 10.0, 1e-12);
+}
+
+TEST(Harness, BenchmarkListMatchesTable2)
+{
+    const auto &b = Harness::benchmarks();
+    ASSERT_EQ(b.size(), 8u);
+    EXPECT_EQ(b.front(), "compress");
+    EXPECT_EQ(b.back(), "twolf");
+}
+
+TEST(Harness, BaselineIsCached)
+{
+    SimConfig base;
+    base.maxInstructions = 10'000;
+    base.warmupInstructions = 2'000;
+    Harness h(base);
+    const SimResults &a = h.baseline("twolf");
+    const SimResults &b = h.baseline("twolf");
+    EXPECT_EQ(&a, &b) << "baseline must be simulated once";
+}
+
+TEST(Harness, RelativeMetricsForExperiment)
+{
+    SimConfig base;
+    base.maxInstructions = 15'000;
+    base.warmupInstructions = 3'000;
+    Harness h(base);
+    RelativeMetrics m = h.relative("go", Experiment::byName("A6"));
+    // A6 (stall fetch on any low confidence) must save power at some
+    // performance cost.
+    EXPECT_GT(m.powerSavings, 0.0);
+    EXPECT_LT(m.speedup, 1.0);
+}
+
+TEST(Harness, AverageMetrics)
+{
+    std::vector<std::pair<std::string, RelativeMetrics>> rows;
+    RelativeMetrics a;
+    a.speedup = 0.9;
+    a.powerSavings = 10.0;
+    a.energySavings = 6.0;
+    a.edImprovement = 2.0;
+    RelativeMetrics b;
+    b.speedup = 1.0;
+    b.powerSavings = 20.0;
+    b.energySavings = 8.0;
+    b.edImprovement = 4.0;
+    rows.emplace_back("x", a);
+    rows.emplace_back("y", b);
+    RelativeMetrics avg = averageMetrics(rows);
+    EXPECT_NEAR(avg.speedup, 0.95, 1e-12);
+    EXPECT_NEAR(avg.powerSavings, 15.0, 1e-12);
+    EXPECT_NEAR(avg.energySavings, 7.0, 1e-12);
+    EXPECT_NEAR(avg.edImprovement, 3.0, 1e-12);
+}
+
+TEST(Simulator, CustomProfileOverridesBenchmark)
+{
+    BenchmarkProfile p;
+    p.name = "custom-unit";
+    p.numBlocks = 64;
+    p.numFuncs = 8;
+    p.seed = 3;
+    SimConfig cfg;
+    cfg.customProfile = p;
+    cfg.maxInstructions = 10'000;
+    cfg.warmupInstructions = 2'000;
+    SimResults r = Simulator(cfg).run();
+    EXPECT_GE(r.core.committedInsts, 10'000u);
+}
+
+TEST(Simulator, SharedProgramCacheReturnsSameProgram)
+{
+    auto a = Simulator::programFor("gcc");
+    auto b = Simulator::programFor("gcc");
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Simulator, ConfKindNames)
+{
+    EXPECT_STREQ(confKindName(ConfKind::None), "none");
+    EXPECT_STREQ(confKindName(ConfKind::Bpru), "bpru");
+    EXPECT_STREQ(confKindName(ConfKind::Jrs), "jrs");
+    EXPECT_STREQ(confKindName(ConfKind::Perfect), "perfect");
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the Selective Throttling policy engine and the
+ * speculation controller (incl. Pipeline Gating).
+ */
+
+#include <gtest/gtest.h>
+
+#include "throttle/controller.hh"
+#include "throttle/policy.hh"
+
+using namespace stsim;
+
+TEST(Bandwidth, ActiveCycles)
+{
+    EXPECT_TRUE(bandwidthActive(BandwidthLevel::Full, 0));
+    EXPECT_TRUE(bandwidthActive(BandwidthLevel::Full, 3));
+    EXPECT_TRUE(bandwidthActive(BandwidthLevel::Half, 0));
+    EXPECT_FALSE(bandwidthActive(BandwidthLevel::Half, 1));
+    EXPECT_TRUE(bandwidthActive(BandwidthLevel::Quarter, 4));
+    EXPECT_FALSE(bandwidthActive(BandwidthLevel::Quarter, 5));
+    EXPECT_FALSE(bandwidthActive(BandwidthLevel::Quarter, 7));
+    EXPECT_FALSE(bandwidthActive(BandwidthLevel::Stall, 0));
+    EXPECT_FALSE(bandwidthActive(BandwidthLevel::Stall, 12345));
+}
+
+TEST(Bandwidth, HalfMeansEveryOtherCycle)
+{
+    int active = 0;
+    for (Cycle c = 0; c < 100; ++c)
+        active += bandwidthActive(BandwidthLevel::Half, c);
+    EXPECT_EQ(active, 50);
+}
+
+TEST(Bandwidth, QuarterMeansOneInFour)
+{
+    int active = 0;
+    for (Cycle c = 0; c < 100; ++c)
+        active += bandwidthActive(BandwidthLevel::Quarter, c);
+    EXPECT_EQ(active, 25);
+}
+
+TEST(Bandwidth, RestrictionOrdering)
+{
+    EXPECT_EQ(maxRestriction(BandwidthLevel::Full,
+                             BandwidthLevel::Half),
+              BandwidthLevel::Half);
+    EXPECT_EQ(maxRestriction(BandwidthLevel::Stall,
+                             BandwidthLevel::Quarter),
+              BandwidthLevel::Stall);
+}
+
+TEST(Policy, PaperExperimentDefinitions)
+{
+    // A5: LC fetch/4, VLC fetch stall.
+    ThrottlePolicy a5 = ThrottlePolicy::byName("A5");
+    EXPECT_EQ(a5.action(ConfLevel::LC).fetch, BandwidthLevel::Quarter);
+    EXPECT_EQ(a5.action(ConfLevel::VLC).fetch, BandwidthLevel::Stall);
+    EXPECT_FALSE(a5.action(ConfLevel::LC).noSelect);
+    EXPECT_TRUE(a5.action(ConfLevel::VHC).isNull());
+    EXPECT_TRUE(a5.action(ConfLevel::HC).isNull());
+
+    // C2 = A5 + no-select on LC (the headline configuration).
+    ThrottlePolicy c2 = ThrottlePolicy::byName("C2");
+    EXPECT_EQ(c2.action(ConfLevel::LC).fetch, BandwidthLevel::Quarter);
+    EXPECT_TRUE(c2.action(ConfLevel::LC).noSelect);
+    EXPECT_EQ(c2.action(ConfLevel::VLC).fetch, BandwidthLevel::Stall);
+
+    // B3: decode stall on LC, fetch untouched on LC.
+    ThrottlePolicy b3 = ThrottlePolicy::byName("B3");
+    EXPECT_EQ(b3.action(ConfLevel::LC).fetch, BandwidthLevel::Full);
+    EXPECT_EQ(b3.action(ConfLevel::LC).decode, BandwidthLevel::Stall);
+}
+
+TEST(Policy, AllNamedExperimentsResolve)
+{
+    for (const auto &name : ThrottlePolicy::experimentNames())
+        EXPECT_NO_FATAL_FAILURE(ThrottlePolicy::byName(name));
+    EXPECT_EQ(ThrottlePolicy::experimentNames().size(), 20u);
+}
+
+TEST(Policy, BaselineIsNull)
+{
+    EXPECT_TRUE(ThrottlePolicy::byName("baseline").isNull());
+}
+
+namespace
+{
+
+SpeculationController
+makeSelective(const std::string &policy)
+{
+    SpecControlConfig cfg;
+    cfg.mode = SpecControlMode::Selective;
+    cfg.policy = ThrottlePolicy::byName(policy);
+    return SpeculationController(cfg);
+}
+
+} // namespace
+
+TEST(Controller, NoneModeNeverGates)
+{
+    SpeculationController c{SpecControlConfig{}};
+    c.onCondBranchFetched(1, ConfLevel::VLC);
+    EXPECT_TRUE(c.fetchActive(0));
+    EXPECT_TRUE(c.fetchActive(1));
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+}
+
+TEST(Controller, VlcStallsFetchUntilResolved)
+{
+    auto c = makeSelective("A5");
+    c.onCondBranchFetched(10, ConfLevel::VLC);
+    EXPECT_FALSE(c.fetchActive(0));
+    EXPECT_FALSE(c.fetchActive(3));
+    c.onBranchResolved(10);
+    EXPECT_TRUE(c.fetchActive(0));
+}
+
+TEST(Controller, LcQuarterThrottle)
+{
+    auto c = makeSelective("A5");
+    c.onCondBranchFetched(10, ConfLevel::LC);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Quarter);
+    EXPECT_TRUE(c.fetchActive(0));
+    EXPECT_FALSE(c.fetchActive(1));
+}
+
+TEST(Controller, HighConfidenceTriggersNothing)
+{
+    auto c = makeSelective("C2");
+    c.onCondBranchFetched(10, ConfLevel::VHC);
+    c.onCondBranchFetched(11, ConfLevel::HC);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Full);
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+}
+
+TEST(Controller, MonotonicUpgradeRule)
+{
+    // 4.2: a later LC/VLC branch may tighten the heuristic, and
+    // resolving the tighter branch falls back to the looser one.
+    auto c = makeSelective("A5");
+    c.onCondBranchFetched(10, ConfLevel::LC);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Quarter);
+    c.onCondBranchFetched(11, ConfLevel::VLC);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Stall);
+    c.onBranchResolved(11);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Quarter);
+    c.onBranchResolved(10);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Full);
+}
+
+TEST(Controller, NoSelectBarrierIsOldestNoSelectBranch)
+{
+    auto c = makeSelective("C2"); // LC carries no-select
+    c.onCondBranchFetched(10, ConfLevel::HC);
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+    c.onCondBranchFetched(20, ConfLevel::LC);
+    c.onCondBranchFetched(30, ConfLevel::LC);
+    EXPECT_EQ(c.noSelectBarrier(), 20u);
+    c.onBranchResolved(20);
+    EXPECT_EQ(c.noSelectBarrier(), 30u);
+    c.onBranchResolved(30);
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+}
+
+TEST(Controller, VlcDoesNotSetNoSelectInC2)
+{
+    // The paper's C2 legend attaches noselect to LC only.
+    auto c = makeSelective("C2");
+    c.onCondBranchFetched(10, ConfLevel::VLC);
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Stall);
+}
+
+TEST(Controller, SquashDropsYoungerTracked)
+{
+    auto c = makeSelective("A5");
+    c.onCondBranchFetched(10, ConfLevel::LC);
+    c.onCondBranchFetched(20, ConfLevel::VLC);
+    c.onCondBranchFetched(30, ConfLevel::VLC);
+    c.squashYoungerThan(15);
+    EXPECT_EQ(c.outstanding(), 1u);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Quarter); // LC remains
+}
+
+TEST(Controller, ResolveUnknownSeqIsIgnored)
+{
+    auto c = makeSelective("A5");
+    c.onCondBranchFetched(10, ConfLevel::LC);
+    c.onBranchResolved(999);
+    EXPECT_EQ(c.outstanding(), 1u);
+}
+
+TEST(Controller, DecodeThrottling)
+{
+    auto c = makeSelective("B3"); // LC: decode stall
+    c.onCondBranchFetched(10, ConfLevel::LC);
+    EXPECT_TRUE(c.fetchActive(0));
+    EXPECT_FALSE(c.decodeActive(0));
+    c.onBranchResolved(10);
+    EXPECT_TRUE(c.decodeActive(0));
+}
+
+TEST(PipelineGating, GatesAboveThreshold)
+{
+    SpecControlConfig cfg;
+    cfg.mode = SpecControlMode::PipelineGating;
+    cfg.gatingThreshold = 2;
+    SpeculationController c(cfg);
+
+    c.onCondBranchFetched(1, ConfLevel::LC);
+    c.onCondBranchFetched(2, ConfLevel::LC);
+    EXPECT_TRUE(c.fetchActive(0)) << "M == threshold: not gated";
+    c.onCondBranchFetched(3, ConfLevel::LC);
+    EXPECT_FALSE(c.fetchActive(0)) << "M > threshold: gated";
+    c.onBranchResolved(1);
+    EXPECT_TRUE(c.fetchActive(0));
+}
+
+TEST(PipelineGating, HighConfidenceDoesNotCount)
+{
+    SpecControlConfig cfg;
+    cfg.mode = SpecControlMode::PipelineGating;
+    cfg.gatingThreshold = 2;
+    SpeculationController c(cfg);
+    for (InstSeq s = 1; s <= 10; ++s)
+        c.onCondBranchFetched(s, ConfLevel::HC);
+    EXPECT_TRUE(c.fetchActive(0));
+    EXPECT_EQ(c.lowConfOutstanding(), 0u);
+}
+
+TEST(PipelineGating, NeverTouchesDecodeOrSelect)
+{
+    SpecControlConfig cfg;
+    cfg.mode = SpecControlMode::PipelineGating;
+    SpeculationController c(cfg);
+    for (InstSeq s = 1; s <= 5; ++s)
+        c.onCondBranchFetched(s, ConfLevel::VLC);
+    EXPECT_TRUE(c.decodeActive(0));
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+}
+
+TEST(Controller, GatedCycleStats)
+{
+    auto c = makeSelective("A6"); // LC+VLC: fetch stall
+    c.onCondBranchFetched(1, ConfLevel::LC);
+    for (Cycle cyc = 0; cyc < 10; ++cyc)
+        c.tickStats(cyc);
+    EXPECT_EQ(c.fetchGatedCycles(), 10u);
+    EXPECT_EQ(c.decodeGatedCycles(), 0u);
+}
+
+/** Property: for every named policy, LC is never more restrictive
+ *  than VLC on the same stage (the paper's aggressiveness ordering). */
+class PolicyOrdering : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PolicyOrdering, VlcAtLeastAsAggressiveAsLc)
+{
+    ThrottlePolicy p = ThrottlePolicy::byName(GetParam());
+    const auto &lc = p.action(ConfLevel::LC);
+    const auto &vlc = p.action(ConfLevel::VLC);
+    EXPECT_GE(static_cast<int>(maxRestriction(lc.fetch, vlc.fetch)),
+              static_cast<int>(lc.fetch));
+    EXPECT_EQ(maxRestriction(lc.fetch, vlc.fetch), vlc.fetch)
+        << "VLC fetch response must dominate LC's";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFetchPolicies, PolicyOrdering,
+    ::testing::Values("A1", "A2", "A3", "A4", "A5", "A6", "C1", "C2"));
