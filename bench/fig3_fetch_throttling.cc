@@ -21,10 +21,15 @@ main()
 {
     Harness h(benchConfig());
 
-    for (const Experiment &exp : Experiment::figure3Series()) {
+    // One parallel wave for the whole figure (STSIM_JOBS workers).
+    std::vector<Experiment> exps = Experiment::figure3Series();
+    std::vector<Harness::SuiteRows> tables = h.runMatrix(exps);
+
+    for (std::size_t i = 0; i < exps.size(); ++i) {
         TextTable t(metricHeader("benchmark"));
-        t.setTitle("Figure 3 / " + exp.name + ": " + exp.description);
-        for (const auto &[bench, m] : h.runSuite(exp))
+        t.setTitle("Figure 3 / " + exps[i].name + ": " +
+                   exps[i].description);
+        for (const auto &[bench, m] : tables[i])
             t.addRow(metricCells(bench, m));
         t.print(std::cout);
         std::cout << "\n";

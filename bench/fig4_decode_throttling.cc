@@ -24,15 +24,19 @@ main()
     TextTable avg(metricHeader("experiment"));
     avg.setTitle("Figure 4 summary (averages over 8 benchmarks)");
 
-    for (const Experiment &exp : Experiment::figure4Series()) {
+    // One parallel wave for the whole figure (STSIM_JOBS workers).
+    std::vector<Experiment> exps = Experiment::figure4Series();
+    std::vector<Harness::SuiteRows> tables = h.runMatrix(exps);
+
+    for (std::size_t i = 0; i < exps.size(); ++i) {
         TextTable t(metricHeader("benchmark"));
-        t.setTitle("Figure 4 / " + exp.name + ": " + exp.description);
-        auto rows = h.runSuite(exp);
-        for (const auto &[bench, m] : rows)
+        t.setTitle("Figure 4 / " + exps[i].name + ": " +
+                   exps[i].description);
+        for (const auto &[bench, m] : tables[i])
             t.addRow(metricCells(bench, m));
         t.print(std::cout);
         std::cout << "\n";
-        avg.addRow(metricCells(exp.name, rows.back().second));
+        avg.addRow(metricCells(exps[i].name, tables[i].back().second));
     }
     avg.print(std::cout);
     return 0;

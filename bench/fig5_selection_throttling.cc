@@ -25,15 +25,19 @@ main()
     TextTable avg(metricHeader("experiment"));
     avg.setTitle("Figure 5 summary (averages over 8 benchmarks)");
 
-    for (const Experiment &exp : Experiment::figure5Series()) {
+    // One parallel wave for the whole figure (STSIM_JOBS workers).
+    std::vector<Experiment> exps = Experiment::figure5Series();
+    std::vector<Harness::SuiteRows> tables = h.runMatrix(exps);
+
+    for (std::size_t i = 0; i < exps.size(); ++i) {
         TextTable t(metricHeader("benchmark"));
-        t.setTitle("Figure 5 / " + exp.name + ": " + exp.description);
-        auto rows = h.runSuite(exp);
-        for (const auto &[bench, m] : rows)
+        t.setTitle("Figure 5 / " + exps[i].name + ": " +
+                   exps[i].description);
+        for (const auto &[bench, m] : tables[i])
             t.addRow(metricCells(bench, m));
         t.print(std::cout);
         std::cout << "\n";
-        avg.addRow(metricCells(exp.name, rows.back().second));
+        avg.addRow(metricCells(exps[i].name, tables[i].back().second));
     }
     avg.addSeparator();
     avg.addRow({"paper C2", "0.95", "-", "13.5%", "8.5%"});

@@ -28,6 +28,9 @@ main()
         SimConfig cfg = benchConfig();
         cfg.pipelineDepth = depth;
         Harness h(cfg);
+        // Each depth is one parallel wave: runSuite routes through the
+        // matrix engine, so the 8 baselines and 8 C2 runs fan out over
+        // STSIM_JOBS workers.
         auto rows = h.runSuite(c2);
         t.addRow(metricCells(std::to_string(depth),
                              rows.back().second));

@@ -12,9 +12,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hh"
-#include "core/simulator.hh"
+#include "core/parallel_harness.hh"
 
 using namespace stsim;
 using namespace stsim::bench;
@@ -26,25 +27,44 @@ main()
     t.setTitle("Figure 7: predictor + estimator size sensitivity of "
                "C2 (average of 8 benchmarks)");
 
-    for (std::size_t total_kb : {8u, 16u, 32u, 64u}) {
-        RelativeMetrics sum;
-        sum.speedup = 0;
+    const std::vector<std::size_t> sizes = {8, 16, 32, 64};
+
+    // Every (size, benchmark) needs a per-job predictor/estimator
+    // split, which runMatrix's shared base config cannot express, so
+    // this driver feeds the job engine directly: one wave of
+    // sizes x benchmarks x {baseline, C2} simulations.
+    std::vector<SimJob> jobs;
+    for (std::size_t total_kb : sizes) {
         for (const auto &bench : Harness::benchmarks()) {
             // Baseline: the whole budget goes to the gshare.
-            SimConfig base = benchConfig();
-            base.benchmark = bench;
-            base.bpred.predictorBytes = total_kb * 1024;
-            Experiment::byName("baseline").applyTo(base);
-            SimResults rb = Simulator(base).run();
+            SimJob base;
+            base.cfg = benchConfig();
+            base.cfg.benchmark = bench;
+            base.cfg.bpred.predictorBytes = total_kb * 1024;
+            Experiment::byName("baseline").applyTo(base.cfg);
+            base.experiment = "baseline";
+            jobs.push_back(std::move(base));
 
             // Selective Throttling: half predictor, half estimator.
-            SimConfig st = benchConfig();
-            st.benchmark = bench;
-            st.bpred.predictorBytes = total_kb * 512;
-            st.confBytes = total_kb * 512;
-            Experiment::byName("C2").applyTo(st);
-            SimResults rs = Simulator(st).run();
+            SimJob st;
+            st.cfg = benchConfig();
+            st.cfg.benchmark = bench;
+            st.cfg.bpred.predictorBytes = total_kb * 512;
+            st.cfg.confBytes = total_kb * 512;
+            Experiment::byName("C2").applyTo(st.cfg);
+            st.experiment = "C2";
+            jobs.push_back(std::move(st));
+        }
+    }
+    std::vector<SimResults> results = runJobs(jobs);
 
+    std::size_t i = 0;
+    for (std::size_t total_kb : sizes) {
+        RelativeMetrics sum;
+        sum.speedup = 0;
+        for (std::size_t b = 0; b < Harness::benchmarks().size(); ++b) {
+            const SimResults &rb = results[i++];
+            const SimResults &rs = results[i++];
             RelativeMetrics m = RelativeMetrics::compute(rb, rs);
             sum.speedup += m.speedup;
             sum.powerSavings += m.powerSavings;

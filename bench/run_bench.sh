@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the google-benchmark microbenchmarks and emit a JSON record so
+# successive PRs have a perf trajectory to compare against.
+#
+# Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
+#
+# Output: BENCH_microbench.json in the current directory.
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+
+micro="${build_dir}/microbench"
+if [[ ! -x "${micro}" ]]; then
+    echo "error: ${micro} not found or not executable." >&2
+    echo "Build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+    echo "(microbench needs google-benchmark; see CMake warnings)" >&2
+    exit 1
+fi
+
+"${micro}" \
+    --benchmark_out=BENCH_microbench.json \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote BENCH_microbench.json"

@@ -50,17 +50,16 @@ constexpr std::array<PaperRow, 11> kPaper = {{
 int
 main()
 {
-    SimConfig base = benchConfig();
+    Harness h(benchConfig());
+    // All eight baselines in one parallel wave (STSIM_JOBS workers).
+    h.computeBaselines();
 
     std::array<double, kNumPUnits> energy{};
     std::array<double, kNumPUnits> wasted{};
     double total_e = 0.0, total_w = 0.0, watts = 0.0;
 
     for (const auto &bench : Harness::benchmarks()) {
-        SimConfig cfg = base;
-        cfg.benchmark = bench;
-        Experiment::byName("baseline").applyTo(cfg);
-        SimResults r = Simulator(cfg).run();
+        const SimResults &r = h.baseline(bench);
         for (PUnit u : kAllPUnits) {
             auto i = static_cast<std::size_t>(u);
             energy[i] += r.unitEnergyJ[i];

@@ -19,7 +19,9 @@ using namespace stsim::bench;
 int
 main()
 {
-    SimConfig base = benchConfig();
+    Harness h(benchConfig());
+    // All eight baseline characterizations in one parallel wave.
+    h.computeBaselines();
 
     TextTable t({"benchmark", "gshare miss", "paper miss",
                  "cond-branch frac", "paper frac", "IPC", "il1 MR",
@@ -29,10 +31,7 @@ main()
 
     double miss = 0, target = 0;
     for (const auto &prof : specProfiles()) {
-        SimConfig cfg = base;
-        cfg.benchmark = prof.name;
-        Experiment::byName("baseline").applyTo(cfg);
-        SimResults r = Simulator(cfg).run();
+        const SimResults &r = h.baseline(prof.name);
         double frac = static_cast<double>(r.core.committedCondBranches) /
                       static_cast<double>(r.core.committedInsts);
         t.addRow({prof.name, TextTable::pct(100 * r.condMissRate),

@@ -5,11 +5,15 @@
  * paper metrics against the cached baseline.
  *
  * Usage:
- *   policy_explorer [--exp NAME] [--bench NAME|all] [--insts N]
- *                   [--bpru inc,dec,alloc] [--depth D]
+ *   policy_explorer [--exp NAME[,NAME...]] [--bench NAME|all]
+ *                   [--insts N] [--bpru inc,dec,alloc] [--depth D]
+ *
+ * A comma-separated experiment list runs as one parallel matrix wave
+ * (STSIM_JOBS workers).
  *
  * Examples:
  *   policy_explorer --exp C2 --bench all
+ *   policy_explorer --exp A5,C2,PG --bench all
  *   policy_explorer --exp A5 --bench go --insts 2000000
  *   policy_explorer --exp C2 --bpru 4,1,3
  */
@@ -75,25 +79,54 @@ main(int argc, char **argv)
     base.bpruParams = bpru;
     Harness h(base);
 
-    Experiment exp = Experiment::byName(exp_name);
-    TextTable t({"bench", "speedup", "power sav", "energy sav",
-                 "E-D impr"});
-    t.setTitle("Experiment " + exp.name + " (" + exp.description + ")");
+    // --exp accepts a comma-separated list; the whole matrix runs as
+    // one parallel wave.
+    std::vector<Experiment> exps;
+    std::size_t pos = 0;
+    while (pos <= exp_name.size()) {
+        std::size_t comma = exp_name.find(',', pos);
+        if (comma == std::string::npos)
+            comma = exp_name.size();
+        if (comma > pos)
+            exps.push_back(
+                Experiment::byName(exp_name.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+    if (exps.empty()) {
+        std::fprintf(stderr, "--exp needs at least one name\n");
+        return 2;
+    }
 
-    if (bench == "all") {
-        for (const auto &[name, m] : h.runSuite(exp)) {
-            t.addRow({name, TextTable::num(m.speedup, 3),
-                      TextTable::pct(m.powerSavings),
-                      TextTable::pct(m.energySavings),
-                      TextTable::pct(m.edImprovement)});
-        }
-    } else {
-        RelativeMetrics m = h.relative(bench, exp);
-        t.addRow({bench, TextTable::num(m.speedup, 3),
+    auto addRow = [](TextTable &t, const std::string &name,
+                     const RelativeMetrics &m) {
+        t.addRow({name, TextTable::num(m.speedup, 3),
                   TextTable::pct(m.powerSavings),
                   TextTable::pct(m.energySavings),
                   TextTable::pct(m.edImprovement)});
+    };
+
+    if (bench == "all") {
+        std::vector<Harness::SuiteRows> tables = h.runMatrix(exps);
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            TextTable t({"bench", "speedup", "power sav", "energy sav",
+                         "E-D impr"});
+            t.setTitle("Experiment " + exps[i].name + " (" +
+                       exps[i].description + ")");
+            for (const auto &[name, m] : tables[i])
+                addRow(t, name, m);
+            t.print(std::cout);
+            if (i + 1 < exps.size())
+                std::cout << "\n";
+        }
+    } else {
+        for (const Experiment &exp : exps) {
+            TextTable t({"bench", "speedup", "power sav", "energy sav",
+                         "E-D impr"});
+            t.setTitle("Experiment " + exp.name + " (" +
+                       exp.description + ")");
+            addRow(t, bench, h.relative(bench, exp));
+            t.print(std::cout);
+        }
     }
-    t.print(std::cout);
     return 0;
 }

@@ -7,7 +7,9 @@
  *
  * The two knobs interact through CFG re-randomization, so closed-form
  * correction is unreliable; damped measurement-driven iteration
- * converges in a handful of rounds.
+ * converges in a handful of rounds. Each benchmark tunes
+ * independently, so the eight tuning loops run concurrently on the
+ * RunPool (STSIM_JOBS workers) and report in deterministic order.
  *
  * Usage: profile_autotune [instructions] [rounds]
  */
@@ -15,8 +17,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "core/experiment.hh"
+#include "core/run_pool.hh"
 #include "core/simulator.hh"
 #include "trace/profile.hh"
 
@@ -48,6 +52,49 @@ measure(const BenchmarkProfile &prof, std::uint64_t insts)
             r.ipc, r.dl1MissRate};
 }
 
+/** Tune one profile's knobs; pure function of (profile, args). */
+BenchmarkProfile
+tuneOne(const BenchmarkProfile &orig, std::uint64_t insts, int rounds)
+{
+    BenchmarkProfile p = orig;
+    BenchmarkProfile best = p;
+    double best_err = 1e9;
+
+    for (int it = 0; it < rounds; ++it) {
+        Measured m = measure(p, insts);
+        double mr_err = (m.missRate - p.targetMissRate) /
+                        p.targetMissRate;
+        double br_err = (m.brFrac - p.condBranchFrac) /
+                        p.condBranchFrac;
+        double err = mr_err * mr_err + br_err * br_err;
+        if (err < best_err) {
+            best_err = err;
+            best = p;
+        }
+        // Damped multiplicative update: brFrac ~ 1/blockLenScale;
+        // missRate responds ~0.45 per unit of fracChaotic.
+        double s = m.brFrac / p.condBranchFrac;
+        p.blockLenScale = std::clamp(
+            p.blockLenScale * (1.0 + 0.7 * (s - 1.0)), 0.5, 3.0);
+        double delta = (p.targetMissRate - m.missRate) / 0.45;
+        // Keep a floor of persistently-unpredictable branches (the
+        // character the confidence estimators key on); once the
+        // chaotic knob saturates, move the biased-miss range.
+        double want = p.fracChaotic + 0.7 * delta;
+        p.fracChaotic = std::clamp(want, 0.02, 0.6);
+        if (want < 0.02 || (want > p.fracChaotic && delta < 0)) {
+            double k = std::clamp(
+                1.0 + 0.7 * (p.targetMissRate / m.missRate - 1.0),
+                0.6, 1.4);
+            p.biasedMissMin =
+                std::clamp(p.biasedMissMin * k, 0.005, 0.4);
+            p.biasedMissMax =
+                std::clamp(p.biasedMissMax * k, 0.01, 0.45);
+        }
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -57,45 +104,22 @@ main(int argc, char **argv)
                                    : 400'000;
     int rounds = argc > 2 ? std::atoi(argv[2]) : 8;
 
-    for (const BenchmarkProfile &orig : specProfiles()) {
-        BenchmarkProfile p = orig;
-        Measured m{};
-        BenchmarkProfile best = p;
-        double best_err = 1e9;
+    const std::vector<BenchmarkProfile> &profiles = specProfiles();
+    std::vector<BenchmarkProfile> tuned(profiles.size());
+    std::vector<Measured> measured(profiles.size());
 
-        for (int it = 0; it < rounds; ++it) {
-            m = measure(p, insts);
-            double mr_err = (m.missRate - p.targetMissRate) /
-                            p.targetMissRate;
-            double br_err = (m.brFrac - p.condBranchFrac) /
-                            p.condBranchFrac;
-            double err = mr_err * mr_err + br_err * br_err;
-            if (err < best_err) {
-                best_err = err;
-                best = p;
-            }
-            // Damped multiplicative update: brFrac ~ 1/blockLenScale;
-            // missRate responds ~0.45 per unit of fracChaotic.
-            double s = m.brFrac / p.condBranchFrac;
-            p.blockLenScale = std::clamp(
-                p.blockLenScale * (1.0 + 0.7 * (s - 1.0)), 0.5, 3.0);
-            double delta = (p.targetMissRate - m.missRate) / 0.45;
-            // Keep a floor of persistently-unpredictable branches (the
-            // character the confidence estimators key on); once the
-            // chaotic knob saturates, move the biased-miss range.
-            double want = p.fracChaotic + 0.7 * delta;
-            p.fracChaotic = std::clamp(want, 0.02, 0.6);
-            if (want < 0.02 || (want > p.fracChaotic && delta < 0)) {
-                double k = std::clamp(
-                    1.0 + 0.7 * (p.targetMissRate / m.missRate - 1.0),
-                    0.6, 1.4);
-                p.biasedMissMin =
-                    std::clamp(p.biasedMissMin * k, 0.005, 0.4);
-                p.biasedMissMax =
-                    std::clamp(p.biasedMissMax * k, 0.01, 0.45);
-            }
-        }
-        m = measure(best, insts);
+    // Each profile's tuning loop is sequential (damped iteration) but
+    // the eight profiles are independent: one pool wave, results
+    // committed by index so the report order is deterministic.
+    RunPool pool;
+    pool.parallelFor(profiles.size(), [&](std::size_t i) {
+        tuned[i] = tuneOne(profiles[i], insts, rounds);
+        measured[i] = measure(tuned[i], insts);
+    });
+
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const BenchmarkProfile &best = tuned[i];
+        const Measured &m = measured[i];
         std::printf("%-9s miss %.1f%% (tgt %.1f)  brFrac %.1f%% "
                     "(tgt %.1f)  IPC %.2f  dl1 %.1f%%  ->  "
                     "fracChaotic = %.4f; blockLenScale = %.3f; "
@@ -105,7 +129,6 @@ main(int argc, char **argv)
                     100 * best.condBranchFrac, m.ipc, 100 * m.dl1,
                     best.fracChaotic, best.blockLenScale,
                     best.biasedMissMin, best.biasedMissMax);
-        std::fflush(stdout);
     }
     return 0;
 }

@@ -57,6 +57,16 @@ class MemoryHierarchy
     const Tlb &dtlb() const { return dtlb_; }
     const MemoryConfig &config() const { return cfg_; }
 
+    /** Zero all cache/TLB statistics (end of warmup); state is kept. */
+    void
+    resetStats()
+    {
+        il1_.resetStats();
+        dl1_.resetStats();
+        l2_.resetStats();
+        dtlb_.resetStats();
+    }
+
   private:
     MemoryConfig cfg_;
     Cache il1_;

@@ -8,13 +8,15 @@ namespace stsim
 
 Tlb::Tlb(std::size_t entries, std::size_t page_bytes,
          unsigned miss_penalty)
-    : entries_(entries),
+    : capacity_(entries),
       missPenalty_(miss_penalty)
 {
     if (!isPowerOf2(page_bytes))
         stsim_fatal("TLB page size must be a power of two");
     stsim_assert(entries >= 1, "empty TLB");
     pageBits_ = floorLog2(page_bytes);
+    entries_.reserve(capacity_);
+    vpnIndex_.reserve(capacity_ * 2);
 }
 
 bool
@@ -23,21 +25,29 @@ Tlb::access(Addr vaddr)
     ++accesses_;
     Addr vpn = vaddr >> pageBits_;
 
-    Entry *victim = &entries_[0];
-    for (auto &e : entries_) {
-        if (e.valid && e.vpn == vpn) {
-            e.lastUse = ++useClock_;
-            return true;
-        }
-        if (!e.valid)
-            victim = &e;
-        else if (victim->valid && e.lastUse < victim->lastUse)
-            victim = &e;
+    auto it = vpnIndex_.find(vpn);
+    if (it != vpnIndex_.end()) {
+        entries_[it->second].lastUse = ++useClock_;
+        return true;
     }
+
     ++misses_;
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->lastUse = ++useClock_;
+    std::uint32_t slot;
+    if (entries_.size() < capacity_) {
+        slot = static_cast<std::uint32_t>(entries_.size());
+        entries_.push_back(Entry{});
+    } else {
+        // Exact LRU victim; the scan runs only on misses.
+        slot = 0;
+        for (std::uint32_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].lastUse < entries_[slot].lastUse)
+                slot = i;
+        }
+        vpnIndex_.erase(entries_[slot].vpn);
+    }
+    entries_[slot].vpn = vpn;
+    entries_[slot].lastUse = ++useClock_;
+    vpnIndex_.emplace(vpn, slot);
     return false;
 }
 

@@ -7,6 +7,7 @@
 #define STSIM_CACHE_TLB_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -39,12 +40,16 @@ class Tlb
   private:
     struct Entry
     {
-        bool valid = false;
         Addr vpn = 0;
         std::uint64_t lastUse = 0;
     };
 
-    std::vector<Entry> entries_;
+    // Hit path is one hash lookup; the O(entries) LRU-victim scan only
+    // runs on the (rare) miss. vpnIndex_ is never iterated, so the
+    // unordered layout cannot affect determinism.
+    std::vector<Entry> entries_;                    ///< resident pages
+    std::unordered_map<Addr, std::uint32_t> vpnIndex_; ///< vpn -> slot
+    std::size_t capacity_;
     unsigned pageBits_;
     unsigned missPenalty_;
     std::uint64_t useClock_ = 0;

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Devirtualized dispatch for ConfidenceEstimator::estimate. A core
+ * carries at most one estimator whose concrete type is fixed for the
+ * whole run, so the per-branch virtual call in the fetch stage can be
+ * resolved once at construction into a direct trampoline.
+ */
+
+#ifndef STSIM_CONFIDENCE_DISPATCH_HH
+#define STSIM_CONFIDENCE_DISPATCH_HH
+
+#include <typeinfo>
+
+#include "confidence/bpru.hh"
+#include "confidence/estimator.hh"
+#include "confidence/jrs.hh"
+#include "confidence/perfect.hh"
+
+namespace stsim
+{
+
+/** Signature of a resolved estimate() entry point. */
+using ConfEstimateFn =
+    ConfLevel (*)(ConfidenceEstimator *, Addr, std::uint64_t,
+                  const DirectionPredictor::Prediction &, bool);
+
+namespace detail
+{
+
+template <typename Concrete>
+ConfLevel
+estimateTrampoline(ConfidenceEstimator *est, Addr pc,
+                   std::uint64_t hist,
+                   const DirectionPredictor::Prediction &dir,
+                   bool oracle_correct)
+{
+    return static_cast<Concrete *>(est)->estimateFast(pc, hist, dir,
+                                                      oracle_correct);
+}
+
+inline ConfLevel
+estimateVirtual(ConfidenceEstimator *est, Addr pc, std::uint64_t hist,
+                const DirectionPredictor::Prediction &dir,
+                bool oracle_correct)
+{
+    return est->estimate(pc, hist, dir, oracle_correct);
+}
+
+} // namespace detail
+
+/**
+ * Resolve the concrete type of @p est once; the returned function
+ * calls its non-virtual estimateFast directly. Matching is by exact
+ * dynamic type (not dynamic_cast), so a subclass that overrides
+ * estimate() correctly falls back to the virtual call.
+ */
+inline ConfEstimateFn
+resolveConfEstimate(ConfidenceEstimator *est)
+{
+    const std::type_info &t = typeid(*est);
+    if (t == typeid(BpruEstimator))
+        return &detail::estimateTrampoline<BpruEstimator>;
+    if (t == typeid(JrsEstimator))
+        return &detail::estimateTrampoline<JrsEstimator>;
+    if (t == typeid(PerfectEstimator))
+        return &detail::estimateTrampoline<PerfectEstimator>;
+    return &detail::estimateVirtual;
+}
+
+} // namespace stsim
+
+#endif // STSIM_CONFIDENCE_DISPATCH_HH

@@ -28,9 +28,9 @@ JrsEstimator::index(Addr pc, std::uint64_t hist) const
 }
 
 ConfLevel
-JrsEstimator::estimate(Addr pc, std::uint64_t hist,
-                       const DirectionPredictor::Prediction & /*dir*/,
-                       bool /*oracle_correct*/)
+JrsEstimator::estimateFast(Addr pc, std::uint64_t hist,
+                           const DirectionPredictor::Prediction & /*dir*/,
+                           bool /*oracle_correct*/)
 {
     // JRS is inherently two-level: the MDC either cleared the threshold
     // (high confidence) or it did not (low confidence).

@@ -59,22 +59,23 @@ Harness::relative(const std::string &bench, const Experiment &exp)
     return RelativeMetrics::compute(base, r);
 }
 
-std::vector<std::pair<std::string, RelativeMetrics>>
+Harness::SuiteRows
 Harness::runSuite(const Experiment &exp)
 {
-    std::vector<std::pair<std::string, RelativeMetrics>> rows;
-    for (const std::string &b : benchmarks())
-        rows.emplace_back(b, relative(b, exp));
-    rows.emplace_back("Average", averageMetrics(rows));
-    return rows;
+    return runMatrix({exp}).front();
 }
 
 RelativeMetrics
 averageMetrics(
     const std::vector<std::pair<std::string, RelativeMetrics>> &rows)
 {
+    // RelativeMetrics defaults seed speedup to 1.0 (the "no change"
+    // identity); an accumulator must start every field at zero.
     RelativeMetrics avg;
     avg.speedup = 0.0;
+    avg.powerSavings = 0.0;
+    avg.energySavings = 0.0;
+    avg.edImprovement = 0.0;
     double n = 0.0;
     for (const auto &[name, m] : rows) {
         if (name == "Average")
@@ -85,7 +86,8 @@ averageMetrics(
         avg.edImprovement += m.edImprovement;
         n += 1.0;
     }
-    stsim_assert(n > 0, "no rows to average");
+    stsim_assert(n > 0, "no rows to average (got %zu 'Average'-only rows)",
+                 rows.size());
     avg.speedup /= n;
     avg.powerSavings /= n;
     avg.energySavings /= n;

@@ -23,6 +23,10 @@ namespace stsim
 class Harness
 {
   public:
+    /** Per-benchmark metrics plus the trailing "Average" row. */
+    using SuiteRows =
+        std::vector<std::pair<std::string, RelativeMetrics>>;
+
     /**
      * @param base Template configuration; experiments override only the
      *        speculation-control fields. REPRO_INSTRUCTIONS is honoured.
@@ -45,10 +49,27 @@ class Harness
     /**
      * Run @p exp over all benchmarks; returns per-benchmark metrics
      * plus the arithmetic mean as a final "Average" row (the paper's
-     * plots report per-benchmark bars plus the average).
+     * plots report per-benchmark bars plus the average). Routes
+     * through the parallel engine (equivalent to runMatrix({exp})).
      */
-    std::vector<std::pair<std::string, RelativeMetrics>>
-    runSuite(const Experiment &exp);
+    SuiteRows runSuite(const Experiment &exp);
+
+    /**
+     * Run every experiment over every benchmark as one parallel wave
+     * (missing baselines are computed in a preceding wave) and return
+     * one suite table per experiment, in input order. Results are
+     * bitwise identical for any worker count.
+     *
+     * @param workers Worker threads; 0 resolves STSIM_JOBS / hardware.
+     */
+    std::vector<SuiteRows> runMatrix(const std::vector<Experiment> &exps,
+                                     unsigned workers = 0);
+
+    /**
+     * Simulate all not-yet-cached baselines in one parallel wave
+     * (lazily-serial baseline() calls then hit the cache).
+     */
+    void computeBaselines(unsigned workers = 0);
 
     const SimConfig &baseConfig() const { return base_; }
 

@@ -1,0 +1,106 @@
+#include "parallel_harness.hh"
+
+#include <algorithm>
+
+#include "core/harness.hh"
+#include "core/run_pool.hh"
+#include "core/simulator.hh"
+
+namespace stsim
+{
+
+std::vector<SimResults>
+runJobs(const std::vector<SimJob> &jobs, unsigned workers)
+{
+    std::vector<SimResults> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    // Warm the shared program cache first — one build per distinct
+    // benchmark, itself fanned out over the pool — so the job wave
+    // never races workers into duplicate StaticProgram builds.
+    std::vector<std::string> names;
+    for (const SimJob &j : jobs) {
+        if (!j.cfg.customProfile &&
+            std::find(names.begin(), names.end(), j.cfg.benchmark) ==
+                names.end()) {
+            names.push_back(j.cfg.benchmark);
+        }
+    }
+    RunPool pool(workers);
+    pool.parallelFor(names.size(), [&](std::size_t i) {
+        Simulator::programFor(names[i]);
+    });
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        SimResults r = Simulator(jobs[i].cfg).run();
+        r.experiment = jobs[i].experiment;
+        results[i] = std::move(r);
+    });
+    return results;
+}
+
+//
+// Harness methods that fan out over the pool (kept here so the
+// serial harness core stays free of threading concerns).
+//
+
+void
+Harness::computeBaselines(unsigned workers)
+{
+    std::vector<SimJob> jobs;
+    std::vector<std::string> missing;
+    for (const std::string &b : benchmarks()) {
+        if (baselines_.count(b))
+            continue;
+        SimJob j;
+        j.cfg = base_;
+        j.cfg.benchmark = b;
+        Experiment::byName("baseline").applyTo(j.cfg);
+        j.experiment = "baseline";
+        jobs.push_back(std::move(j));
+        missing.push_back(b);
+    }
+    std::vector<SimResults> results = runJobs(jobs, workers);
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        baselines_.emplace(missing[i], std::move(results[i]));
+}
+
+std::vector<Harness::SuiteRows>
+Harness::runMatrix(const std::vector<Experiment> &exps, unsigned workers)
+{
+    computeBaselines(workers);
+
+    const std::vector<std::string> &benches = benchmarks();
+    std::vector<SimJob> jobs;
+    jobs.reserve(exps.size() * benches.size());
+    for (const Experiment &exp : exps) {
+        for (const std::string &b : benches) {
+            SimJob j;
+            j.cfg = base_;
+            j.cfg.benchmark = b;
+            exp.applyTo(j.cfg);
+            j.experiment = exp.name;
+            jobs.push_back(std::move(j));
+        }
+    }
+    std::vector<SimResults> results = runJobs(jobs, workers);
+
+    // Commit in submission order: experiment-major, benchmark-minor.
+    std::vector<SuiteRows> tables;
+    tables.reserve(exps.size());
+    std::size_t i = 0;
+    for (std::size_t e = 0; e < exps.size(); ++e) {
+        SuiteRows rows;
+        rows.reserve(benches.size() + 1);
+        for (const std::string &b : benches) {
+            rows.emplace_back(
+                b, RelativeMetrics::compute(baselines_.at(b),
+                                            results[i++]));
+        }
+        rows.emplace_back("Average", averageMetrics(rows));
+        tables.push_back(std::move(rows));
+    }
+    return tables;
+}
+
+} // namespace stsim

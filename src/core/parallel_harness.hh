@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parallel experiment engine: turns lists of fully-specified
+ * simulation jobs into results using a RunPool, with results committed
+ * in submission order so the output is bitwise identical for any
+ * worker count. Harness::runMatrix and the bench drivers that need
+ * per-job config control (Figure 7, Tables 1-2) route through here.
+ */
+
+#ifndef STSIM_CORE_PARALLEL_HARNESS_HH
+#define STSIM_CORE_PARALLEL_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/sim_config.hh"
+#include "core/sim_results.hh"
+
+namespace stsim
+{
+
+/** One fully-specified simulation job. */
+struct SimJob
+{
+    SimConfig cfg;          ///< must already name its benchmark
+    std::string experiment; ///< stamped into SimResults::experiment
+};
+
+/**
+ * Run every job on a RunPool and return results in submission order.
+ *
+ * Each job constructs its own Simulator, so the only shared state is
+ * the read-mostly program cache (internally synchronized). Results
+ * are independent of @p workers.
+ *
+ * @param workers Worker threads; 0 resolves STSIM_JOBS / hardware.
+ */
+std::vector<SimResults> runJobs(const std::vector<SimJob> &jobs,
+                                unsigned workers = 0);
+
+} // namespace stsim
+
+#endif // STSIM_CORE_PARALLEL_HARNESS_HH

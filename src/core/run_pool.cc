@@ -1,0 +1,112 @@
+#include "run_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+
+unsigned
+RunPool::defaultWorkers()
+{
+    if (const char *s = std::getenv("STSIM_JOBS")) {
+        // strtoul silently wraps negative input, so parse signed.
+        char *end = nullptr;
+        long long v = std::strtoll(s, &end, 10);
+        if (end && *end == '\0' && v >= 1) {
+            if (v > 256)
+                v = 256;
+            return static_cast<unsigned>(v);
+        }
+        stsim_warn("ignoring bad STSIM_JOBS='%s'", s);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+RunPool::RunPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+RunPool::~RunPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cvIdle_.wait(lock, [this] { return inFlight_ == 0; });
+        stopping_ = true;
+    }
+    cvWork_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+RunPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stsim_assert(!stopping_, "submit on a stopping RunPool");
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    cvWork_.notify_one();
+}
+
+void
+RunPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvIdle_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+RunPool::parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&fn, i] { fn(i); });
+    wait();
+}
+
+void
+RunPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvWork_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                cvIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace stsim

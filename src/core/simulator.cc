@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "confidence/bpru.hh"
@@ -62,15 +63,24 @@ SimConfig::applyEnvOverrides()
 std::shared_ptr<const StaticProgram>
 Simulator::programFor(const std::string &benchmark)
 {
+    // Shared across concurrently-constructed Simulators (the parallel
+    // experiment engine); the map is the only mutable shared state.
+    static std::mutex mu;
     static std::map<std::string, std::shared_ptr<const StaticProgram>>
         cache;
-    auto it = cache.find(benchmark);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(benchmark);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Build outside the lock: CFG construction is expensive and
+    // deterministic, so a racing duplicate is wasted work, not a
+    // correctness problem — emplace keeps whichever landed first.
     auto prog = std::make_shared<const StaticProgram>(
         findProfile(benchmark));
-    cache.emplace(benchmark, prog);
-    return prog;
+    std::lock_guard<std::mutex> lock(mu);
+    return cache.emplace(benchmark, std::move(prog)).first->second;
 }
 
 Simulator::Simulator(SimConfig cfg)
@@ -133,10 +143,7 @@ Simulator::run()
     bpred_->resetStats();
 
     // Cache stats reset so reported miss rates exclude cold start.
-    const_cast<Cache &>(memory_->il1()).resetStats();
-    const_cast<Cache &>(memory_->dl1()).resetStats();
-    const_cast<Cache &>(memory_->l2()).resetStats();
-    const_cast<Tlb &>(memory_->dtlb()).resetStats();
+    memory_->resetStats();
 
     const Cycle max_cycles =
         static_cast<Cycle>(cfg_.maxInstructions) * 64 + 1'000'000;

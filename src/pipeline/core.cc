@@ -31,34 +31,54 @@ Core::Core(const CoreConfig &cfg, const Deps &deps)
     freeSlots_.reserve(pool);
     for (std::size_t i = pool; i > 0; --i)
         freeSlots_.push_back(static_cast<std::uint32_t>(i - 1));
-    inflight_.reserve(pool * 2);
+
+    // seqSlot_ ring: starts comfortably larger than the slot pool and
+    // grows whenever an insert would evict a live instruction's entry
+    // (possible when repeated mispredict-squash-refetch waves run up
+    // nextSeq_ while an old long-latency instruction is still in
+    // flight), so slotOf stays exact without a sizing proof.
+    std::size_t ring = 1;
+    while (ring < pool + 512)
+        ring <<= 1;
+    seqSlot_.assign(ring, 0);
+    seqSlotMask_ = ring - 1;
 
     fetchPc_ = deps_.workload->program().codeBase();
-}
-
-std::uint32_t
-Core::allocSlot()
-{
-    stsim_assert(!freeSlots_.empty(), "slot pool exhausted");
-    std::uint32_t s = freeSlots_.back();
-    freeSlots_.pop_back();
-    slots_[s].reset();
-    return s;
+    if (deps_.confidence)
+        confEstimate_ = resolveConfEstimate(deps_.confidence);
 }
 
 void
-Core::freeSlot(std::uint32_t slot)
+Core::growSeqSlot()
 {
-    freeSlots_.push_back(slot);
-}
-
-std::optional<std::uint32_t>
-Core::slotOf(InstSeq seq) const
-{
-    auto it = inflight_.find(seq);
-    if (it == inflight_.end())
-        return std::nullopt;
-    return it->second;
+    constexpr std::uint32_t kEmpty = 0xFFFF'FFFFu;
+    std::size_t n = seqSlot_.size();
+    for (;;) {
+        n <<= 1;
+        std::vector<std::uint32_t> fresh(n, kEmpty);
+        const InstSeq mask = n - 1;
+        bool ok = true;
+        for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+            const InstSeq seq = slots_[s].seq;
+            if (seq == kInvalidSeq)
+                continue;
+            std::uint32_t &cell = fresh[seq & mask];
+            if (cell != kEmpty) {
+                ok = false; // two live seqs still collide
+                break;
+            }
+            cell = s;
+        }
+        if (!ok)
+            continue;
+        // Unused cells must stay safely indexable by slotOf.
+        for (std::uint32_t &cell : fresh)
+            if (cell == kEmpty)
+                cell = 0;
+        seqSlot_ = std::move(fresh);
+        seqSlotMask_ = mask;
+        return;
+    }
 }
 
 void
@@ -79,11 +99,11 @@ Core::tick()
     ++stats_.cycles;
     ++now_;
 
-    if (!inflight_.empty() && now_ - lastCommitCycle_ > 100000) {
+    if (inflightCount_ != 0 && now_ - lastCommitCycle_ > 100000) {
         stsim_panic("no commit for 100000 cycles at cycle %llu "
                     "(inflight=%zu rob=%zu fetchQ=%zu mode=%d)",
                     static_cast<unsigned long long>(now_),
-                    inflight_.size(), rob_.size(), fetchQ_.size(),
+                    inflightCount_, rob_.size(), fetchQ_.size(),
                     static_cast<int>(fetchMode_));
     }
 }

@@ -20,12 +20,13 @@
 #include <optional>
 #include <queue>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "bpred/bpred_unit.hh"
 #include "cache/hierarchy.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
+#include "confidence/dispatch.hh"
 #include "confidence/estimator.hh"
 #include "confidence/metrics.hh"
 #include "pipeline/core_config.hh"
@@ -70,7 +71,7 @@ class Core
     const CoreConfig &config() const { return cfg_; }
 
     /** In-flight instruction count (diagnostics/tests). */
-    std::size_t inFlight() const { return inflight_.size(); }
+    std::size_t inFlight() const { return inflightCount_; }
 
     /** Cycles since the last commit (deadlock watchdog). */
     Cycle cyclesSinceCommit() const { return now_ - lastCommitCycle_; }
@@ -123,11 +124,57 @@ class Core
 
     /// @name Slot pool
     /// @{
-    std::uint32_t allocSlot();
-    void freeSlot(std::uint32_t slot);
+    std::uint32_t
+    allocSlot()
+    {
+        stsim_assert(!freeSlots_.empty(), "slot pool exhausted");
+        std::uint32_t s = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[s].reset();
+        return s;
+    }
+
+    /** Return @p slot to the pool; its instruction leaves flight. */
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        slots_[slot].seq = kInvalidSeq; // invalidate seqSlot_ hits
+        freeSlots_.push_back(slot);
+        --inflightCount_;
+    }
+
     DynInst &inst(std::uint32_t slot) { return slots_[slot]; }
-    /** Slot of an in-flight seq, or nullopt. */
-    std::optional<std::uint32_t> slotOf(InstSeq seq) const;
+
+    /**
+     * Slot of an in-flight seq, or nullopt (committed or squashed).
+     * A masked ring lookup validated against the slot's own seq.
+     * insertSeqSlot() grows the ring before it would ever overwrite a
+     * live instruction's entry, so this is exact, not probabilistic.
+     */
+    std::optional<std::uint32_t>
+    slotOf(InstSeq seq) const
+    {
+        std::uint32_t s = seqSlot_[seq & seqSlotMask_];
+        if (slots_[s].seq == seq)
+            return s;
+        return std::nullopt;
+    }
+
+    /** Publish @p seq -> @p slot; grows the ring on a live collision. */
+    void
+    insertSeqSlot(InstSeq seq, std::uint32_t slot)
+    {
+        std::uint32_t prev = seqSlot_[seq & seqSlotMask_];
+        const InstSeq prev_seq = slots_[prev].seq;
+        if (prev_seq != kInvalidSeq && prev_seq != seq &&
+            (prev_seq & seqSlotMask_) == (seq & seqSlotMask_)) {
+            growSeqSlot(); // would evict a live instruction: rebuild
+        }
+        seqSlot_[seq & seqSlotMask_] = slot;
+    }
+
+    /** Double the seq ring until every live seq has its own cell. */
+    void growSeqSlot();
     /// @}
 
     /// @name Issue helpers
@@ -148,10 +195,13 @@ class Core
     Cycle lastCommitCycle_ = 0;
     InstSeq nextSeq_ = 1;
 
-    // Slot pool.
+    // Slot pool. seqSlot_ maps seq & seqSlotMask_ -> slot index and is
+    // validated against DynInst::seq (see slotOf).
     std::vector<DynInst> slots_;
     std::vector<std::uint32_t> freeSlots_;
-    std::unordered_map<InstSeq, std::uint32_t> inflight_;
+    std::vector<std::uint32_t> seqSlot_;
+    InstSeq seqSlotMask_ = 0;
+    std::size_t inflightCount_ = 0;
 
     // Pipes and window (slot indices, oldest first).
     std::deque<std::uint32_t> fetchQ_;
@@ -178,6 +228,10 @@ class Core
     std::set<InstSeq> unknownStoreAddrs_;
     std::vector<InstSeq> blockedLoads_;
     FuPool fuPool_;
+
+    /** Devirtualized estimate() for the (single) estimator; null when
+     *  the core has no confidence estimator. */
+    ConfEstimateFn confEstimate_ = nullptr;
 
     // Fetch state.
     FetchMode fetchMode_ = FetchMode::CorrectPath;

@@ -58,7 +58,6 @@ Core::commitStage()
         ++stats_.committedInsts;
         ++n;
         lastCommitCycle_ = now_;
-        inflight_.erase(di.seq);
         freeSlot(slot);
     }
 }
@@ -79,7 +78,6 @@ Core::squashAfter(InstSeq seq)
             DynInst &di = inst(slot);
             if (di.ti.isStore())
                 unknownStoreAddrs_.erase(di.seq);
-            inflight_.erase(di.seq);
             ++stats_.squashedInsts;
             freeSlot(slot);
         }

@@ -54,23 +54,4 @@ CoreConfig::validate() const
         stsim_fatal("maxTakenBranchesPerFetch must be >= 1");
 }
 
-unsigned
-CoreConfig::baseLatency(InstClass cls)
-{
-    switch (cls) {
-      case InstClass::IntAlu: return 1;
-      case InstClass::IntMult: return 3;
-      case InstClass::Load: return 1;  // address generation; cache added
-      case InstClass::Store: return 1; // address generation
-      case InstClass::FpAlu: return 2;
-      case InstClass::FpMult: return 4;
-      case InstClass::CondBranch: return 1;
-      case InstClass::Jump: return 1;
-      case InstClass::Call: return 1;
-      case InstClass::Return: return 1;
-      case InstClass::Nop: return 1;
-    }
-    return 1;
-}
-
 } // namespace stsim

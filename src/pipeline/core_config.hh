@@ -91,7 +91,24 @@ struct CoreConfig
     void validate() const;
 
     /** Base execution latency of an instruction class (pre-extra). */
-    static unsigned baseLatency(InstClass cls);
+    static constexpr unsigned
+    baseLatency(InstClass cls)
+    {
+        switch (cls) {
+          case InstClass::IntAlu: return 1;
+          case InstClass::IntMult: return 3;
+          case InstClass::Load: return 1;  // addr gen; cache added
+          case InstClass::Store: return 1; // addr gen
+          case InstClass::FpAlu: return 2;
+          case InstClass::FpMult: return 4;
+          case InstClass::CondBranch: return 1;
+          case InstClass::Jump: return 1;
+          case InstClass::Call: return 1;
+          case InstClass::Return: return 1;
+          case InstClass::Nop: return 1;
+        }
+        return 1;
+    }
 };
 
 } // namespace stsim

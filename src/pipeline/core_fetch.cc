@@ -41,9 +41,9 @@ Core::processControl(DynInst &di)
     if (di.ti.isCondBranch() && deps_.confidence) {
         bool dir_correct =
             on_wrong ? true : di.pred.predTaken == di.ti.taken;
-        di.conf = deps_.confidence->estimate(di.ti.pc,
-                                             di.pred.histBefore,
-                                             di.pred.dir, dir_correct);
+        di.conf = confEstimate_(deps_.confidence, di.ti.pc,
+                                di.pred.histBefore, di.pred.dir,
+                                dir_correct);
         di.confAssigned = true;
         deps_.power->record(PUnit::Bpred, 1, wp ? 1 : 0);
         deps_.controller->onCondBranchFetched(di.seq, di.conf);
@@ -177,7 +177,8 @@ Core::fetchStage()
         di.seq = nextSeq_++;
         di.wrongPath = wp;
         di.decodeReady = now_ + cfg_.fetchStages;
-        inflight_.emplace(di.seq, slot);
+        insertSeqSlot(di.seq, slot);
+        ++inflightCount_;
         fetchQ_.push_back(slot);
         ++stats_.fetchedInsts;
         if (wp)

@@ -1,130 +1,149 @@
 #include "power_model.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-
 namespace stsim
 {
+
+namespace
+{
+
+constexpr std::size_t kClockIdx =
+    static_cast<std::size_t>(PUnit::Clock);
+
+/** Index of the lowest set bit; mask must be nonzero. */
+inline unsigned
+lowestBit(std::uint32_t mask)
+{
+    return static_cast<unsigned>(__builtin_ctz(mask));
+}
+
+} // namespace
 
 PowerModel::PowerModel(const PowerParams &params)
     : params_(params)
 {
-}
-
-void
-PowerModel::beginCycle()
-{
-    cycleCount_.fill(0.0);
-    cycleWrong_.fill(0.0);
-}
-
-void
-PowerModel::record(PUnit unit, double count, double wrong_count)
-{
-    auto i = static_cast<std::size_t>(unit);
-    stsim_assert(wrong_count <= count + 1e-9,
-                 "wrong_count %f > count %f on %s", wrong_count, count,
-                 punitName(unit));
-    cycleCount_[i] += count;
-    cycleWrong_[i] += wrong_count;
-}
-
-void
-PowerModel::endCycle()
-{
     const double dt = params_.cycleSeconds();
-    const double idle = params_.idleFactor;
+    idleFactor_ = params_.idleFactor;
+    activeFactor_ = 1.0 - idleFactor_;
+    invMetered_ = 1.0 / static_cast<double>(kNumPUnits - 1);
+    for (PUnit u : kAllPUnits) {
+        auto i = static_cast<std::size_t>(u);
+        invPorts_[i] = 1.0 / params_.portsOf(u);
+        peakDt_[i] = params_.peak(u) * dt;
+        idleCycleE_[i] = params_.style == ClockGatingStyle::cc0
+                             ? peakDt_[i]
+                             : peakDt_[i] * idleFactor_;
+    }
+    endCycleFn_ = params_.style == ClockGatingStyle::cc0
+                      ? &PowerModel::endCycleImpl<ClockGatingStyle::cc0>
+                      : &PowerModel::endCycleImpl<ClockGatingStyle::cc3>;
+}
 
+template <ClockGatingStyle Style>
+void
+PowerModel::endCycleImpl()
+{
     double act_sum = 0.0;
     double total_cnt = 0.0;
     double total_wrong = 0.0;
 
-    for (PUnit u : kAllPUnits) {
-        if (u == PUnit::Clock)
-            continue;
-        auto i = static_cast<std::size_t>(u);
-        double act = std::min(1.0, cycleCount_[i] / params_.portsOf(u));
-        double wrong_frac =
-            cycleCount_[i] > 0 ? cycleWrong_[i] / cycleCount_[i] : 0.0;
+    // Only the units recorded this cycle need floating-point work; the
+    // rest dissipate idleCycleE_ per cycle, accounted lazily from
+    // touchedCycles_ when results are read.
+    std::uint32_t mask = dirty_;
+    dirty_ = 0;
+    while (mask) {
+        const std::size_t i = lowestBit(mask);
+        mask &= mask - 1;
+        const double cnt = cycleCount_[i];
+        const double wrong = cycleWrong_[i];
+        cycleCount_[i] = 0.0;
+        cycleWrong_[i] = 0.0;
+        if (i == kClockIdx)
+            continue; // clock activity is derived, never recorded
 
-        double p;
-        switch (params_.style) {
-          case ClockGatingStyle::cc0:
-            p = params_.peak(u);
-            break;
-          case ClockGatingStyle::cc3:
-          default:
-            p = params_.peak(u) * (idle + (1.0 - idle) * act);
-            break;
-        }
-        double e = p * dt;
+        double act = cnt * invPorts_[i];
+        if (act > 1.0)
+            act = 1.0;
+        const double wrong_frac = cnt > 0 ? wrong / cnt : 0.0;
+
+        const double e = Style == ClockGatingStyle::cc0
+                             ? peakDt_[i]
+                             : peakDt_[i] * (idleFactor_ +
+                                             activeFactor_ * act);
         // Wrong-path instructions own their proportional share of the
         // unit's whole dissipation this cycle (the paper's Table 1
         // accounting); idle cycles attribute to nobody.
-        double wasted = e * wrong_frac;
+        const double wasted = e * wrong_frac;
 
-        unitEnergy_[i] += e;
+        unitEnergyAcc_[i] += e;
         unitWasted_[i] += wasted;
-        totalEnergy_ += e;
         totalWasted_ += wasted;
         activitySum_[i] += act;
+        ++touchedCycles_[i];
 
         act_sum += act;
-        total_cnt += cycleCount_[i];
-        total_wrong += cycleWrong_[i];
+        total_cnt += cnt;
+        total_wrong += wrong;
     }
 
     // Clock network: activity = mean activity of the metered units;
     // waste attribution follows the global wrong-path activity share.
     {
-        auto i = static_cast<std::size_t>(PUnit::Clock);
-        double act = act_sum / (kNumPUnits - 1);
-        double wrong_frac = total_cnt > 0 ? total_wrong / total_cnt : 0.0;
-        double p;
-        switch (params_.style) {
-          case ClockGatingStyle::cc0:
-            p = params_.peak(PUnit::Clock);
-            break;
-          case ClockGatingStyle::cc3:
-          default:
-            p = params_.peak(PUnit::Clock) * (idle + (1.0 - idle) * act);
-            break;
-        }
-        double e = p * dt;
-        double wasted = e * wrong_frac;
-        unitEnergy_[i] += e;
-        unitWasted_[i] += wasted;
-        totalEnergy_ += e;
+        const double act = act_sum * invMetered_;
+        const double wrong_frac =
+            total_cnt > 0 ? total_wrong / total_cnt : 0.0;
+        const double e = Style == ClockGatingStyle::cc0
+                             ? peakDt_[kClockIdx]
+                             : peakDt_[kClockIdx] *
+                                   (idleFactor_ + activeFactor_ * act);
+        const double wasted = e * wrong_frac;
+        unitEnergyAcc_[kClockIdx] += e;
+        unitWasted_[kClockIdx] += wasted;
         totalWasted_ += wasted;
-        activitySum_[i] += act;
+        activitySum_[kClockIdx] += act;
+        ++touchedCycles_[kClockIdx];
     }
 
     ++cycles_;
 }
 
 double
-PowerModel::avgPower() const
+PowerModel::totalEnergy() const
 {
-    return cycles_ ? totalEnergy_ / seconds() : 0.0;
-}
-
-void
-PowerModel::resetStats()
-{
-    unitEnergy_.fill(0.0);
-    unitWasted_.fill(0.0);
-    activitySum_.fill(0.0);
-    cycles_ = 0;
-    totalEnergy_ = 0.0;
-    totalWasted_ = 0.0;
+    double total = 0.0;
+    for (PUnit u : kAllPUnits)
+        total += unitEnergy(u);
+    return total;
 }
 
 double
 PowerModel::meanActivity(PUnit u) const
 {
+    // Untouched cycles contribute exactly zero activity, so the lazy
+    // idle accounting needs no correction here.
     auto i = static_cast<std::size_t>(u);
-    return cycles_ ? activitySum_[i] / static_cast<double>(cycles_) : 0.0;
+    return cycles_ ? activitySum_[i] / static_cast<double>(cycles_)
+                   : 0.0;
+}
+
+double
+PowerModel::avgPower() const
+{
+    return cycles_ ? totalEnergy() / seconds() : 0.0;
+}
+
+void
+PowerModel::resetStats()
+{
+    unitEnergyAcc_.fill(0.0);
+    unitWasted_.fill(0.0);
+    activitySum_.fill(0.0);
+    touchedCycles_.fill(0);
+    cycleCount_.fill(0.0);
+    cycleWrong_.fill(0.0);
+    dirty_ = 0;
+    cycles_ = 0;
+    totalWasted_ = 0.0;
 }
 
 } // namespace stsim

@@ -10,7 +10,9 @@
 #define STSIM_POWER_POWER_MODEL_HH
 
 #include <array>
+#include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "power/power_params.hh"
 #include "power/units.hh"
@@ -31,32 +33,56 @@ namespace stsim
  * unit's whole dissipation is split across its accesses, so wrong-path
  * work owns its proportional share (cycles with no accesses attribute
  * to nobody).
+ *
+ * Hot-path structure: per-unit peak*dt and 1/ports are precomputed,
+ * the cc0/cc3 branch is resolved once at construction (member-
+ * function-pointer specialization), and endCycle() only visits units
+ * actually recorded this cycle (dirty mask). A unit that was not
+ * touched dissipates a constant per-cycle idle energy, which is
+ * accounted lazily from its untouched-cycle count when results are
+ * read, so idle cycles cost no floating-point work at all.
  */
 class PowerModel
 {
   public:
     explicit PowerModel(const PowerParams &params);
 
-    /** Start a new cycle (clears per-cycle activity). */
-    void beginCycle();
+    /** Start a new cycle. endCycle() self-clears, so this is a no-op
+     *  kept for API symmetry. */
+    void beginCycle() {}
 
     /**
      * Record @p count accesses to @p unit this cycle, of which
      * @p wrong_count were made on behalf of wrong-path instructions.
      */
-    void record(PUnit unit, double count, double wrong_count = 0.0);
+    void
+    record(PUnit unit, double count, double wrong_count = 0.0)
+    {
+        auto i = static_cast<std::size_t>(unit);
+        stsim_assert(wrong_count <= count + 1e-9,
+                     "wrong_count %f > count %f on %s", wrong_count,
+                     count, punitName(unit));
+        cycleCount_[i] += count;
+        cycleWrong_[i] += wrong_count;
+        dirty_ |= std::uint32_t{1} << i;
+    }
 
     /** Close the cycle: convert activity to power and accumulate. */
-    void endCycle();
+    void endCycle() { (this->*endCycleFn_)(); }
 
     /// @name Results
     /// @{
     Counter cycles() const { return cycles_; }
-    double totalEnergy() const { return totalEnergy_; }      ///< joules
+    /** Total energy so far, including lazy idle-cycle energy. */
+    double totalEnergy() const;                              ///< joules
     double wastedEnergy() const { return totalWasted_; }     ///< joules
-    double unitEnergy(PUnit u) const
+    double
+    unitEnergy(PUnit u) const
     {
-        return unitEnergy_[static_cast<std::size_t>(u)];
+        auto i = static_cast<std::size_t>(u);
+        return unitEnergyAcc_[i] +
+               static_cast<double>(cycles_ - touchedCycles_[i]) *
+                   idleCycleE_[i];
     }
     double unitWastedEnergy(PUnit u) const
     {
@@ -78,15 +104,39 @@ class PowerModel
     void resetStats();
 
   private:
+    template <ClockGatingStyle Style> void endCycleImpl();
+
+    using EndCycleFn = void (PowerModel::*)();
+
     PowerParams params_;
+
+    /// @name Per-cycle scratch (consumed and cleared by endCycle)
+    /// @{
     std::array<double, kNumPUnits> cycleCount_{};
     std::array<double, kNumPUnits> cycleWrong_{};
-    std::array<double, kNumPUnits> unitEnergy_{};
+    std::uint32_t dirty_ = 0;
+    /// @}
+
+    /// @name Constants precomputed at construction
+    /// @{
+    EndCycleFn endCycleFn_;
+    std::array<double, kNumPUnits> invPorts_{};
+    std::array<double, kNumPUnits> peakDt_{};    ///< peak * dt
+    std::array<double, kNumPUnits> idleCycleE_{}; ///< untouched-cycle energy
+    double idleFactor_ = 0.0;
+    double activeFactor_ = 0.0;  ///< 1 - idleFactor
+    double invMetered_ = 0.0;    ///< 1 / (kNumPUnits - 1)
+    /// @}
+
+    /// @name Accumulators
+    /// @{
+    std::array<double, kNumPUnits> unitEnergyAcc_{};
     std::array<double, kNumPUnits> unitWasted_{};
     std::array<double, kNumPUnits> activitySum_{};
+    std::array<Counter, kNumPUnits> touchedCycles_{};
     Counter cycles_ = 0;
-    double totalEnergy_ = 0.0;
     double totalWasted_ = 0.0;
+    /// @}
 };
 
 } // namespace stsim

@@ -88,25 +88,4 @@ SpeculationController::recompute()
     }
 }
 
-bool
-SpeculationController::fetchActive(Cycle cycle) const
-{
-    return bandwidthActive(fetchLevel_, cycle);
-}
-
-bool
-SpeculationController::decodeActive(Cycle cycle) const
-{
-    return bandwidthActive(decodeLevel_, cycle);
-}
-
-void
-SpeculationController::tickStats(Cycle cycle)
-{
-    if (!fetchActive(cycle))
-        ++fetchGatedCycles_;
-    if (!decodeActive(cycle))
-        ++decodeGatedCycles_;
-}
-
 } // namespace stsim

@@ -67,10 +67,18 @@ class SpeculationController
     void squashYoungerThan(InstSeq seq);
 
     /** May fetch do work this cycle? */
-    bool fetchActive(Cycle cycle) const;
+    bool
+    fetchActive(Cycle cycle) const
+    {
+        return bandwidthActive(fetchLevel_, cycle);
+    }
 
     /** May decode do work this cycle? */
-    bool decodeActive(Cycle cycle) const;
+    bool
+    decodeActive(Cycle cycle) const
+    {
+        return bandwidthActive(decodeLevel_, cycle);
+    }
 
     /**
      * Selection-throttling barrier: window entries with seq strictly
@@ -107,7 +115,14 @@ class SpeculationController
     Counter fetchGatedCycles() const { return fetchGatedCycles_; }
     Counter decodeGatedCycles() const { return decodeGatedCycles_; }
     /** Called by the core once per cycle to accumulate gating stats. */
-    void tickStats(Cycle cycle);
+    void
+    tickStats(Cycle cycle)
+    {
+        if (!fetchActive(cycle))
+            ++fetchGatedCycles_;
+        if (!decodeActive(cycle))
+            ++decodeGatedCycles_;
+    }
     /// @}
 
   private:

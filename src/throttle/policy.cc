@@ -17,18 +17,6 @@ bandwidthLevelName(BandwidthLevel lvl)
     return "?";
 }
 
-bool
-bandwidthActive(BandwidthLevel lvl, Cycle cycle)
-{
-    switch (lvl) {
-      case BandwidthLevel::Full: return true;
-      case BandwidthLevel::Half: return (cycle & 1) == 0;
-      case BandwidthLevel::Quarter: return (cycle & 3) == 0;
-      case BandwidthLevel::Stall: return false;
-    }
-    return true;
-}
-
 ThrottlePolicy
 ThrottlePolicy::make(std::string name, ThrottleAction lc,
                      ThrottleAction vlc)

@@ -36,7 +36,17 @@ enum class BandwidthLevel : std::uint8_t
 const char *bandwidthLevelName(BandwidthLevel lvl);
 
 /** True when the stage may do work this @p cycle under @p lvl. */
-bool bandwidthActive(BandwidthLevel lvl, Cycle cycle);
+inline bool
+bandwidthActive(BandwidthLevel lvl, Cycle cycle)
+{
+    switch (lvl) {
+      case BandwidthLevel::Full: return true;
+      case BandwidthLevel::Half: return (cycle & 1) == 0;
+      case BandwidthLevel::Quarter: return (cycle & 3) == 0;
+      case BandwidthLevel::Stall: return false;
+    }
+    return true;
+}
 
 /** The more restrictive of two levels. */
 inline BandwidthLevel

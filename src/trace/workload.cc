@@ -20,22 +20,6 @@ patternOutcome(std::uint64_t hist, std::uint8_t bits, std::uint32_t salt)
     return hashMix(key ^ salt) & 1;
 }
 
-/** Fill the common fields of a body-op TraceInst. */
-TraceInst
-makeBodyInst(const StaticBlock &blk, std::uint32_t op_idx, Addr mem_addr)
-{
-    const StaticOp &op = blk.ops[op_idx];
-    TraceInst ti;
-    ti.pc = blk.pc + 4 * op_idx;
-    ti.cls = op.cls;
-    ti.srcDist[0] = op.srcDist[0];
-    ti.srcDist[1] = op.srcDist[1];
-    ti.hasDest = op.hasDest;
-    ti.memAddr = mem_addr;
-    ti.npc = ti.pc + 4;
-    return ti;
-}
-
 } // namespace
 
 //
@@ -141,20 +125,8 @@ Workload::memAddress(const StaticOp &op)
 }
 
 TraceInst
-Workload::next()
+Workload::nextTerminator(const StaticBlock &b)
 {
-    const StaticBlock &b = program_->block(curBlock_);
-    ++generated_;
-
-    if (opIdx_ < b.ops.size()) {
-        const StaticOp &op = b.ops[opIdx_];
-        Addr mem = isMemory(op.cls) ? memAddress(op) : 0;
-        TraceInst ti = makeBodyInst(b, opIdx_, mem);
-        ++opIdx_;
-        return ti;
-    }
-
-    // Terminator.
     TraceInst ti;
     ti.pc = b.termPc();
     ti.hasDest = false;
@@ -254,7 +226,7 @@ WrongPathCursor::next()
                 span = op.regionSize;
             mem = op.regionBase + 8 * rng_.below(span / 8);
         }
-        TraceInst ti = makeBodyInst(b, opIdx_, mem);
+        TraceInst ti = detail::makeBodyInst(b, opIdx_, mem);
         ++opIdx_;
         return ti;
     }

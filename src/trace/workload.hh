@@ -40,7 +40,11 @@ class Workload
     /** Benchmark name from the underlying profile. */
     const std::string &name() const;
 
-    /** Generate the next correct-path instruction. */
+    /**
+     * Generate the next correct-path instruction. Body ops (the vast
+     * majority of the stream) are produced inline; only block
+     * terminators take the out-of-line slow path.
+     */
     TraceInst next();
 
     /** Architectural global branch-outcome history (LSB = most recent). */
@@ -59,6 +63,9 @@ class Workload
 
     /** Compute the effective address of a memory slot (mutating). */
     Addr memAddress(const StaticOp &op);
+
+    /** Produce @p b's terminator and advance to the successor block. */
+    TraceInst nextTerminator(const StaticBlock &b);
 
     std::shared_ptr<const StaticProgram> program_;
     Rng rng_;
@@ -103,6 +110,44 @@ class WrongPathCursor
     std::uint64_t specHist_;
     std::vector<std::uint32_t> callStack_;
 };
+
+namespace detail
+{
+
+/** Fill the common fields of a body-op TraceInst. */
+inline TraceInst
+makeBodyInst(const StaticBlock &blk, std::uint32_t op_idx,
+             Addr mem_addr)
+{
+    const StaticOp &op = blk.ops[op_idx];
+    TraceInst ti;
+    ti.pc = blk.pc + 4 * op_idx;
+    ti.cls = op.cls;
+    ti.srcDist[0] = op.srcDist[0];
+    ti.srcDist[1] = op.srcDist[1];
+    ti.hasDest = op.hasDest;
+    ti.memAddr = mem_addr;
+    ti.npc = ti.pc + 4;
+    return ti;
+}
+
+} // namespace detail
+
+inline TraceInst
+Workload::next()
+{
+    const StaticBlock &b = program_->block(curBlock_);
+    ++generated_;
+
+    if (opIdx_ < b.ops.size()) {
+        const StaticOp &op = b.ops[opIdx_];
+        Addr mem = isMemory(op.cls) ? memAddress(op) : 0;
+        TraceInst ti = detail::makeBodyInst(b, opIdx_, mem);
+        ++opIdx_;
+        return ti;
+    }
+    return nextTerminator(b);
+}
 
 } // namespace stsim
 

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the experiment harness and the parallel experiment engine:
+ * baseline caching and invalidation, suite averaging, the RunPool, and
+ * thread-count-independent (bitwise-identical) matrix results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "core/harness.hh"
+#include "core/parallel_harness.hh"
+#include "core/run_pool.hh"
+#include "core/simulator.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg;
+    cfg.maxInstructions = 8'000;
+    cfg.warmupInstructions = 2'000;
+    return cfg;
+}
+
+void
+expectSameResults(const SimResults &a, const SimResults &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.core.committedInsts, b.core.committedInsts);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    EXPECT_EQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.edProduct, b.edProduct);
+    EXPECT_EQ(a.wastedEnergyJ, b.wastedEnergyJ);
+    EXPECT_EQ(a.condMissRate, b.condMissRate);
+    EXPECT_EQ(a.il1MissRate, b.il1MissRate);
+    EXPECT_EQ(a.dl1MissRate, b.dl1MissRate);
+    for (PUnit u : kAllPUnits) {
+        auto i = static_cast<std::size_t>(u);
+        EXPECT_EQ(a.unitEnergyJ[i], b.unitEnergyJ[i]) << punitName(u);
+        EXPECT_EQ(a.unitWastedJ[i], b.unitWastedJ[i]) << punitName(u);
+    }
+}
+
+} // namespace
+
+TEST(RunPool, ExecutesEveryJobExactlyOnce)
+{
+    RunPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(RunPool, SubmitAndWaitDrains)
+{
+    RunPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(RunPool, WaitRethrowsJobException)
+{
+    RunPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(RunPool, StsimJobsOverridesDefault)
+{
+    ASSERT_EQ(setenv("STSIM_JOBS", "3", 1), 0);
+    EXPECT_EQ(RunPool::defaultWorkers(), 3u);
+    ASSERT_EQ(setenv("STSIM_JOBS", "bogus", 1), 0);
+    EXPECT_GE(RunPool::defaultWorkers(), 1u); // falls back, never 0
+    unsetenv("STSIM_JOBS");
+}
+
+TEST(RunJobs, ResultsCommittedInSubmissionOrder)
+{
+    std::vector<SimJob> jobs;
+    for (const char *b : {"twolf", "go"}) {
+        SimJob j;
+        j.cfg = tinyConfig();
+        j.cfg.benchmark = b;
+        Experiment::byName("baseline").applyTo(j.cfg);
+        j.experiment = "baseline";
+        jobs.push_back(std::move(j));
+    }
+    std::vector<SimResults> r = runJobs(jobs, 2);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].benchmark, "twolf");
+    EXPECT_EQ(r[1].benchmark, "go");
+    EXPECT_EQ(r[0].experiment, "baseline");
+    EXPECT_GE(r[0].core.committedInsts, 8'000u);
+}
+
+TEST(Harness, BaselineInvalidatedOnBaseConfigMutation)
+{
+    Harness h(tinyConfig());
+    const SimResults &before = h.baseline("go");
+    Counter committed = before.core.committedInsts;
+    EXPECT_GE(committed, 8'000u);
+    EXPECT_LT(committed, 16'000u);
+
+    // Mutable access invalidates every cached baseline.
+    h.baseConfig().maxInstructions = 16'000;
+    const SimResults &after = h.baseline("go");
+    EXPECT_GE(after.core.committedInsts, 16'000u);
+}
+
+TEST(Harness, ComputeBaselinesFillsCache)
+{
+    Harness h(tinyConfig());
+    h.computeBaselines(2);
+    // Every subsequent baseline() is a cache hit: same object both
+    // times, with no invalidation in between.
+    for (const std::string &b : Harness::benchmarks()) {
+        const SimResults &a = h.baseline(b);
+        EXPECT_EQ(&a, &h.baseline(b));
+        EXPECT_EQ(a.benchmark, b);
+    }
+}
+
+TEST(Harness, RunSuiteAppendsAverageRow)
+{
+    Harness h(tinyConfig());
+    auto rows = h.runSuite(Experiment::byName("A6"));
+    ASSERT_EQ(rows.size(), Harness::benchmarks().size() + 1);
+    EXPECT_EQ(rows.back().first, "Average");
+
+    RelativeMetrics avg = averageMetrics(rows);
+    EXPECT_EQ(avg.speedup, rows.back().second.speedup);
+    EXPECT_EQ(avg.powerSavings, rows.back().second.powerSavings);
+    EXPECT_EQ(avg.energySavings, rows.back().second.energySavings);
+    EXPECT_EQ(avg.edImprovement, rows.back().second.edImprovement);
+}
+
+TEST(Harness, MatrixIsWorkerCountIndependent)
+{
+    std::vector<Experiment> exps = {Experiment::byName("A5"),
+                                    Experiment::byName("PG")};
+
+    Harness serial(tinyConfig());
+    auto one = serial.runMatrix(exps, 1);
+    Harness parallel(tinyConfig());
+    auto many = parallel.runMatrix(exps, 4);
+
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t e = 0; e < one.size(); ++e) {
+        ASSERT_EQ(one[e].size(), many[e].size());
+        for (std::size_t r = 0; r < one[e].size(); ++r) {
+            EXPECT_EQ(one[e][r].first, many[e][r].first);
+            const RelativeMetrics &a = one[e][r].second;
+            const RelativeMetrics &b = many[e][r].second;
+            EXPECT_EQ(a.speedup, b.speedup);
+            EXPECT_EQ(a.powerSavings, b.powerSavings);
+            EXPECT_EQ(a.energySavings, b.energySavings);
+            EXPECT_EQ(a.edImprovement, b.edImprovement);
+        }
+    }
+    // The underlying baselines must match bitwise, not just the
+    // derived percentages.
+    for (const std::string &b : Harness::benchmarks())
+        expectSameResults(serial.baseline(b), parallel.baseline(b));
+}
+
+TEST(AverageMetrics, RejectsAverageOnlyInput)
+{
+    std::vector<std::pair<std::string, RelativeMetrics>> rows;
+    rows.emplace_back("Average", RelativeMetrics{});
+    EXPECT_DEATH(averageMetrics(rows), "no rows to average");
+}
