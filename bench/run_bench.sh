@@ -2,6 +2,11 @@
 # Run the google-benchmark microbenchmarks and emit a JSON record so
 # successive PRs have a perf trajectory to compare against.
 #
+# Configures and builds the build tree itself (Release) so a recorded
+# baseline can never silently come from an unoptimized build -- the
+# previous BENCH_microbench.json was recorded against a debug
+# benchmark library, which is exactly the failure mode this guards.
+#
 # Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
 #
 # Output: BENCH_microbench.json in the current directory.
@@ -10,11 +15,29 @@ set -euo pipefail
 build_dir="${1:-build}"
 shift || true
 
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# Configure (idempotent) and build Release. An existing build tree
+# with a different build type is reconfigured rather than trusted.
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${build_dir}" -j"$(nproc)" --target microbench
+
+# Fail loudly unless the tree we are about to measure is Release.
+build_type="$(grep -E '^CMAKE_BUILD_TYPE:' \
+    "${build_dir}/CMakeCache.txt" | cut -d= -f2)"
+if [[ "${build_type}" != "Release" ]]; then
+    echo "error: ${build_dir} is configured as '${build_type}'," >&2
+    echo "refusing to record benchmark numbers from a non-Release" >&2
+    echo "build. Reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+    exit 1
+fi
+
 micro="${build_dir}/microbench"
 if [[ ! -x "${micro}" ]]; then
     echo "error: ${micro} not found or not executable." >&2
-    echo "Build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
-    echo "(microbench needs google-benchmark; see CMake warnings)" >&2
+    echo "(microbench needs google-benchmark or the vendored stub:" >&2
+    echo " configure with -DSTSIM_USE_STUB_BENCHMARK=ON offline)" >&2
     exit 1
 fi
 
@@ -22,5 +45,19 @@ fi
     --benchmark_out=BENCH_microbench.json \
     --benchmark_out_format=json \
     "$@"
+
+# The benchmark library records its own build flavor. Distro packages
+# (e.g. Debian's libbenchmark) ship without NDEBUG and report
+# "debug" even though the repo build above is Release; warn so a
+# recorded baseline documents the harness it came from. Numbers meant
+# for BENCH_microbench.json should come from a Release-built library
+# (FetchContent) or the vendored stub (-DSTSIM_USE_STUB_BENCHMARK=ON),
+# both of which report "release".
+if grep -q '"library_build_type": "debug"' BENCH_microbench.json; then
+    echo "warning: the benchmark *library* reports a debug build" >&2
+    echo "(the stsim build itself is Release). Prefer a release" >&2
+    echo "libbenchmark or -DSTSIM_USE_STUB_BENCHMARK=ON when" >&2
+    echo "recording baselines." >&2
+fi
 
 echo "wrote BENCH_microbench.json"

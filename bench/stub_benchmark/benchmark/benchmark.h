@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Minimal vendored stand-in for google-benchmark, used when the real
+ * library is unavailable and the FetchContent fallback has no network
+ * (CMake option STSIM_USE_STUB_BENCHMARK). Implements exactly the
+ * subset the repo's microbenchmarks use -- State iteration, adaptive
+ * timing, DoNotOptimize, rate counters, --benchmark_filter /
+ * --benchmark_min_time / --benchmark_out[_format] -- and emits a
+ * BENCH_microbench.json-compatible record. Numbers from this stub are
+ * comparable run-to-run, but it is a timer harness, not a statistics
+ * engine: prefer the real library for recorded baselines.
+ */
+
+#ifndef STSIM_STUB_BENCHMARK_H
+#define STSIM_STUB_BENCHMARK_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace benchmark
+{
+
+enum TimeUnit
+{
+    kNanosecond,
+    kMicrosecond,
+    kMillisecond,
+    kSecond,
+};
+
+struct Counter
+{
+    enum Flags
+    {
+        kDefaults = 0,
+        kIsRate = 1,
+    };
+
+    double value = 0.0;
+    int flags = kDefaults;
+
+    Counter() = default;
+    Counter(double v, int f = kDefaults) : value(v), flags(f) {}
+};
+
+template <typename T>
+inline void
+DoNotOptimize(T const &value)
+{
+    asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <typename T>
+inline void
+DoNotOptimize(T &value)
+{
+    asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+class State
+{
+  public:
+    explicit State(std::uint64_t iters) : remaining_(iters),
+                                          iters_(iters) {}
+
+    struct Iterator
+    {
+        State *st;
+
+        bool
+        operator!=(const Iterator &) const
+        {
+            return st->keepRunning();
+        }
+
+        void operator++() {}
+        int operator*() const { return 0; }
+    };
+
+    Iterator begin() { return {this}; }
+    Iterator end() { return {this}; }
+
+    std::uint64_t iterations() const { return iters_; }
+
+    std::map<std::string, Counter> counters;
+
+  private:
+    bool
+    keepRunning()
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        return true;
+    }
+
+    std::uint64_t remaining_;
+    std::uint64_t iters_;
+};
+
+namespace detail
+{
+
+using BenchFn = void (*)(State &);
+
+struct BenchInfo
+{
+    std::string name;
+    BenchFn fn;
+    TimeUnit unit = kNanosecond;
+};
+
+inline std::vector<BenchInfo> &
+registry()
+{
+    static std::vector<BenchInfo> r;
+    return r;
+}
+
+class Benchmark
+{
+  public:
+    explicit Benchmark(std::size_t idx) : idx_(idx) {}
+
+    Benchmark *
+    Unit(TimeUnit u)
+    {
+        registry()[idx_].unit = u;
+        return this;
+    }
+
+  private:
+    std::size_t idx_;
+};
+
+inline Benchmark *
+registerBenchmark(const char *name, BenchFn fn)
+{
+    registry().push_back({name, fn, kNanosecond});
+    static std::vector<Benchmark *> keep;
+    keep.push_back(new Benchmark(registry().size() - 1));
+    return keep.back();
+}
+
+struct Measurement
+{
+    std::uint64_t iterations = 0;
+    double realSeconds = 0.0;
+    double cpuSeconds = 0.0;
+    std::map<std::string, Counter> counters;
+};
+
+inline Measurement
+runOnce(const BenchInfo &b, std::uint64_t iters)
+{
+    Measurement m;
+    m.iterations = iters;
+    State st(iters);
+    auto t0 = std::chrono::steady_clock::now();
+    std::clock_t c0 = std::clock();
+    b.fn(st);
+    std::clock_t c1 = std::clock();
+    auto t1 = std::chrono::steady_clock::now();
+    m.realSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.cpuSeconds =
+        static_cast<double>(c1 - c0) / CLOCKS_PER_SEC;
+    m.counters = st.counters;
+    return m;
+}
+
+/** google-benchmark-style adaptive repetition up to min_time. */
+inline Measurement
+runAdaptive(const BenchInfo &b, double min_time)
+{
+    std::uint64_t iters = 1;
+    for (;;) {
+        Measurement m = runOnce(b, iters);
+        if (m.realSeconds >= min_time || iters >= (1ull << 40))
+            return m;
+        double mult = 10.0;
+        if (m.realSeconds > 1e-9)
+            mult = min_time / m.realSeconds * 1.4;
+        if (mult < 2.0)
+            mult = 2.0;
+        if (mult > 10.0)
+            mult = 10.0;
+        iters = static_cast<std::uint64_t>(
+            static_cast<double>(iters) * mult + 1.0);
+    }
+}
+
+inline double
+unitScale(TimeUnit u)
+{
+    switch (u) {
+      case kNanosecond: return 1e9;
+      case kMicrosecond: return 1e6;
+      case kMillisecond: return 1e3;
+      case kSecond: return 1.0;
+    }
+    return 1e9;
+}
+
+inline const char *
+unitName(TimeUnit u)
+{
+    switch (u) {
+      case kNanosecond: return "ns";
+      case kMicrosecond: return "us";
+      case kMillisecond: return "ms";
+      case kSecond: return "s";
+    }
+    return "ns";
+}
+
+/** Very small substring filter (no regex; enough for CI smoke use). */
+inline bool
+nameMatches(const std::string &name, const std::string &filter)
+{
+    return filter.empty() || name.find(filter) != std::string::npos;
+}
+
+inline int
+benchMain(int argc, char **argv)
+{
+    std::string filter, out_path, out_format = "json";
+    double min_time = 0.5;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto val = [&](const char *pfx) -> const char * {
+            std::size_t n = std::strlen(pfx);
+            return std::strncmp(a, pfx, n) == 0 ? a + n : nullptr;
+        };
+        if (const char *v = val("--benchmark_filter="))
+            filter = v;
+        else if (const char *v = val("--benchmark_min_time="))
+            min_time = std::strtod(v, nullptr);
+        else if (const char *v = val("--benchmark_out="))
+            out_path = v;
+        else if (const char *v = val("--benchmark_out_format="))
+            out_format = v;
+    }
+    if (min_time <= 0.0)
+        min_time = 0.5;
+
+    std::printf("%-28s %15s %15s %12s\n", "Benchmark", "Time", "CPU",
+                "Iterations");
+    std::printf("%s\n", std::string(74, '-').c_str());
+
+    std::vector<std::pair<BenchInfo, Measurement>> results;
+    for (const BenchInfo &b : registry()) {
+        if (!nameMatches(b.name, filter))
+            continue;
+        Measurement m = runAdaptive(b, min_time);
+        results.emplace_back(b, m);
+        double scale = unitScale(b.unit);
+        double it = static_cast<double>(m.iterations);
+        std::printf("%-28s %12.3g %s %12.3g %s %12llu", b.name.c_str(),
+                    m.realSeconds / it * scale, unitName(b.unit),
+                    m.cpuSeconds / it * scale, unitName(b.unit),
+                    static_cast<unsigned long long>(m.iterations));
+        for (const auto &[cname, c] : m.counters) {
+            double v = c.value;
+            if (c.flags & Counter::kIsRate)
+                v /= m.cpuSeconds; // rate counters use CPU time, like google-benchmark
+            std::printf(" %s=%.4g", cname.c_str(), v);
+        }
+        std::printf("\n");
+    }
+
+    if (!out_path.empty() && out_format == "json") {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::time_t now = std::time(nullptr);
+        char datebuf[64];
+        std::strftime(datebuf, sizeof(datebuf), "%FT%T%z",
+                      std::localtime(&now));
+        std::fprintf(f,
+                     "{\n  \"context\": {\n"
+                     "    \"date\": \"%s\",\n"
+                     "    \"executable\": \"%s\",\n"
+                     "    \"num_cpus\": %u,\n"
+                     "    \"stub_harness\": true,\n"
+#ifdef NDEBUG
+                     "    \"library_build_type\": \"release\"\n"
+#else
+                     "    \"library_build_type\": \"debug\"\n"
+#endif
+                     "  },\n  \"benchmarks\": [\n",
+                     datebuf, argc > 0 ? argv[0] : "",
+                     std::thread::hardware_concurrency());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const BenchInfo &b = results[i].first;
+            const Measurement &m = results[i].second;
+            double scale = unitScale(b.unit);
+            double it = static_cast<double>(m.iterations);
+            std::fprintf(f,
+                         "    {\n"
+                         "      \"name\": \"%s\",\n"
+                         "      \"run_name\": \"%s\",\n"
+                         "      \"run_type\": \"iteration\",\n"
+                         "      \"repetitions\": 1,\n"
+                         "      \"repetition_index\": 0,\n"
+                         "      \"threads\": 1,\n"
+                         "      \"iterations\": %llu,\n"
+                         "      \"real_time\": %.17g,\n"
+                         "      \"cpu_time\": %.17g,\n"
+                         "      \"time_unit\": \"%s\"",
+                         b.name.c_str(), b.name.c_str(),
+                         static_cast<unsigned long long>(m.iterations),
+                         m.realSeconds / it * scale,
+                         m.cpuSeconds / it * scale, unitName(b.unit));
+            for (const auto &[cname, c] : m.counters) {
+                double v = c.value;
+                if (c.flags & Counter::kIsRate)
+                    v /= m.cpuSeconds; // rate counters use CPU time, like google-benchmark
+                std::fprintf(f, ",\n      \"%s\": %.17g",
+                             cname.c_str(), v);
+            }
+            std::fprintf(f, "\n    }%s\n",
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    }
+    return 0;
+}
+
+} // namespace detail
+
+} // namespace benchmark
+
+#define BENCHMARK(fn)                                                  \
+    static ::benchmark::detail::Benchmark *BENCHMARK_PRIVATE_##fn =    \
+        ::benchmark::detail::registerBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN()                                               \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        return ::benchmark::detail::benchMain(argc, argv);             \
+    }
+
+#endif // STSIM_STUB_BENCHMARK_H

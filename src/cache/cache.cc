@@ -21,7 +21,9 @@ Cache::Cache(const CacheConfig &cfg)
                     cfg.name.c_str());
     setBits_ = floorLog2(numSets_);
     lineBits_ = floorLog2(cfg.lineBytes);
+    setMask_ = numSets_ - 1;
     lines_.resize(lines);
+    mruWay_.assign(numSets_, 0);
 }
 
 bool
@@ -32,17 +34,28 @@ Cache::access(Addr addr, bool /*is_write*/, bool wrong_path)
         ++wrongPathAccesses_;
 
     Addr line_addr = addr >> lineBits_;
-    std::size_t set = static_cast<std::size_t>(line_addr &
-                                               lowMask(setBits_));
+    std::size_t set = static_cast<std::size_t>(line_addr & setMask_);
     Addr tag = line_addr >> setBits_;
     Line *ways = &lines_[set * cfg_.ways];
 
+    // MRU fast path: hot lines hit the same way they hit last time.
+    Line &mru = ways[mruWay_[set]];
+    if (mru.valid && mru.tag == tag) {
+        mru.lastUse = ++useClock_;
+        if (!wrong_path)
+            mru.wrongPathFill = false;
+        return true;
+    }
+
+    // Hit/victim scan in one pass: the victim is the last invalid
+    // way, else true-LRU among the valid ones.
     Line *victim = &ways[0];
     for (std::size_t w = 0; w < cfg_.ways; ++w) {
         if (ways[w].valid && ways[w].tag == tag) {
             ways[w].lastUse = ++useClock_;
             if (!wrong_path)
                 ways[w].wrongPathFill = false;
+            mruWay_[set] = static_cast<std::uint8_t>(w);
             return true;
         }
         if (!ways[w].valid)
@@ -51,7 +64,7 @@ Cache::access(Addr addr, bool /*is_write*/, bool wrong_path)
             victim = &ways[w];
     }
 
-    // Miss: allocate into the LRU way.
+    // Miss: allocate into the victim way.
     ++misses_;
     if (wrong_path && victim->valid && !victim->wrongPathFill)
         ++pollutionEvictions_;
@@ -59,6 +72,7 @@ Cache::access(Addr addr, bool /*is_write*/, bool wrong_path)
     victim->tag = tag;
     victim->wrongPathFill = wrong_path;
     victim->lastUse = ++useClock_;
+    mruWay_[set] = static_cast<std::uint8_t>(victim - ways);
     return false;
 }
 
@@ -66,10 +80,12 @@ bool
 Cache::probe(Addr addr) const
 {
     Addr line_addr = addr >> lineBits_;
-    std::size_t set = static_cast<std::size_t>(line_addr &
-                                               lowMask(setBits_));
+    std::size_t set = static_cast<std::size_t>(line_addr & setMask_);
     Addr tag = line_addr >> setBits_;
     const Line *ways = &lines_[set * cfg_.ways];
+    const Line &mru = ways[mruWay_[set]];
+    if (mru.valid && mru.tag == tag)
+        return true;
     for (std::size_t w = 0; w < cfg_.ways; ++w)
         if (ways[w].valid && ways[w].tag == tag)
             return true;

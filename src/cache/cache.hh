@@ -76,10 +76,10 @@ class Cache
   private:
     struct Line
     {
-        bool valid = false;
         Addr tag = 0;
-        bool wrongPathFill = false;
         std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool wrongPathFill = false;
     };
 
     CacheConfig cfg_;
@@ -87,6 +87,15 @@ class Cache
     unsigned setBits_;
     unsigned lineBits_;
     std::vector<Line> lines_; // sets * ways
+    /**
+     * Per-set MRU way hint: the way the set last hit or filled.
+     * Checked before the associative scan -- repeated touches to a
+     * hot line (instruction streaming, stack traffic) short-circuit
+     * in one compare. Purely an accelerator: a wrong hint falls back
+     * to the full scan, so replacement behavior is unchanged.
+     */
+    std::vector<std::uint8_t> mruWay_;
+    Addr setMask_ = 0;
     std::uint64_t useClock_ = 0;
 
     Counter accesses_ = 0;

@@ -1,5 +1,8 @@
 #include "core.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace stsim
@@ -43,9 +46,95 @@ Core::Core(const CoreConfig &cfg, const Deps &deps)
     seqSlot_.assign(ring, 0);
     seqSlotMask_ = ring - 1;
 
+    fetchQ_.init(fetchQCap_ + 1);
+    dispatchQ_.init(dispatchQCap_ + 1);
+    rob_.init(cfg_.ruuSize + 1);
+    lsq_.init(cfg_.lsqSize + 1);
+
+    // Ready bitmap: the window never holds more than ruuSize entries,
+    // so a pow2 bit ring of at least that many positions is aliasing
+    // free within [robBasePos_, robBasePos_ + rob_.size()).
+    std::uint64_t bits = 64;
+    while (bits < cfg_.ruuSize)
+        bits <<= 1;
+    readyWords_.assign(bits / 64, 0);
+    readyMask_ = bits - 1;
+
+    // Writeback calendar: covers the longest completion latency (FU +
+    // L1 + L2 + memory + TLB walk) plus drain lag; grows on demand.
+    wbCal_.resize(256);
+    wbCalMask_ = wbCal_.size() - 1;
+
     fetchPc_ = deps_.workload->program().codeBase();
     if (deps_.confidence)
         confEstimate_ = resolveConfEstimate(deps_.confidence);
+}
+
+std::uint64_t
+Core::nextReadyPos(std::uint64_t pos, std::uint64_t end) const
+{
+    while (pos < end) {
+        const std::uint64_t idx = pos & readyMask_;
+        const std::uint64_t off = idx & 63;
+        std::uint64_t word = readyWords_[idx >> 6] >> off;
+        if (word) {
+            std::uint64_t found =
+                pos + static_cast<std::uint64_t>(
+                          std::countr_zero(word));
+            return found < end ? found : kInvalidSeq;
+        }
+        pos += 64 - off; // next word boundary
+    }
+    return kInvalidSeq;
+}
+
+void
+Core::wbPush(Cycle at, InstSeq seq)
+{
+    stsim_assert(at > now_, "writeback scheduled in the past");
+    for (;;) {
+        WbBucket &b = wbCal_[at & wbCalMask_];
+        if (b.pending() && b.cycle != at) {
+            growWbCal(); // cell still busy with another cycle's events
+            continue;
+        }
+        if (!b.pending()) {
+            b.clear();
+            b.cycle = at;
+        }
+        stsim_assert(!b.sorted, "push into a draining bucket");
+        b.ev.push_back(seq);
+        ++wbCount_;
+        return;
+    }
+}
+
+void
+Core::growWbCal()
+{
+    std::vector<WbBucket> old = std::move(wbCal_);
+    std::size_t cap = old.size();
+    for (;;) {
+        cap <<= 1;
+        wbCal_.assign(cap, WbBucket{});
+        wbCalMask_ = cap - 1;
+        bool ok = true;
+        for (const WbBucket &b : old) {
+            if (!b.pending())
+                continue;
+            WbBucket &n = wbCal_[b.cycle & wbCalMask_];
+            if (n.pending()) {
+                ok = false; // pending cycles still alias: re-double
+                break;
+            }
+            n.cycle = b.cycle;
+            n.ev.assign(b.ev.begin() + b.head, b.ev.end());
+            n.head = 0;
+            n.sorted = b.sorted;
+        }
+        if (ok)
+            return;
+    }
 }
 
 void
@@ -111,46 +200,74 @@ Core::tick()
 void
 Core::wakeConsumers(DynInst &producer)
 {
-    for (InstSeq cs : producer.consumers) {
+    unsigned cam_cnt = 0, cam_wrong = 0;
+    producer.forEachConsumer([&](InstSeq cs) {
         auto slot = slotOf(cs);
         if (!slot)
-            continue; // consumer squashed
+            return; // consumer squashed
         DynInst &c = inst(*slot);
         if (!c.inWindow || c.issued || c.waitingOn == 0)
-            continue;
+            return;
         --c.waitingOn;
         // Wakeup CAM match in the window (oracle decode spends no
         // energy on wrong-path entries at all).
-        if (!(cfg_.oracle == OracleMode::OracleDecode && c.wrongPath))
-            deps_.power->record(PUnit::Window, 1, c.wrongPath ? 1 : 0);
+        if (!(cfg_.oracle == OracleMode::OracleDecode && c.wrongPath)) {
+            ++cam_cnt;
+            cam_wrong += c.wrongPath ? 1 : 0;
+        }
         if (c.waitingOn == 0) {
             bool oracle_blocked =
                 (cfg_.oracle == OracleMode::OracleSelect ||
                  cfg_.oracle == OracleMode::OracleDecode) &&
                 c.wrongPath;
             if (oracle_blocked)
-                continue; // never selectable
-            readyQ_.push(c.seq);
+                return; // never selectable
+            setReady(c);
         }
+    });
+    producer.clearConsumers();
+    if (cam_cnt) // exact integer batch of the per-match records
+        deps_.power->record(PUnit::Window, cam_cnt, cam_wrong);
+}
+
+InstSeq
+Core::minUnknownStore()
+{
+    if (usHead_ >= 4096) { // reclaim the settled prefix
+        unknownStores_.erase(unknownStores_.begin(),
+                             unknownStores_.begin() +
+                                 static_cast<std::ptrdiff_t>(usHead_));
+        usHead_ = 0;
     }
-    producer.consumers.clear();
+    while (usHead_ < unknownStores_.size()) {
+        InstSeq s = unknownStores_[usHead_];
+        auto slot = slotOf(s);
+        if (slot && !slots_[*slot].addrReady)
+            return s; // oldest still-unknown store
+        ++usHead_; // squashed or address now known: settled for good
+    }
+    unknownStores_.clear();
+    usHead_ = 0;
+    return kInvalidSeq;
 }
 
 bool
-Core::loadMayIssue(const DynInst &di) const
+Core::loadMayIssue(const DynInst &di)
 {
-    return unknownStoreAddrs_.empty() ||
-           *unknownStoreAddrs_.begin() > di.seq;
+    InstSeq m = minUnknownStore();
+    return m == kInvalidSeq || m > di.seq;
 }
 
 bool
 Core::tryForward(const DynInst &load)
 {
+    if (readyStores_ == 0)
+        return false; // no store in the window has a known address
     Addr word = load.ti.memAddr >> 3;
-    for (auto it = lsq_.rbegin(); it != lsq_.rend(); ++it) {
-        const DynInst &e = slots_[*it];
-        if (e.seq >= load.seq)
-            continue;
+    // Only entries older than the load can forward; its own LSQ
+    // position bounds the scan.
+    for (std::size_t i = load.lsqPos - lsqBasePos_; i-- > 0;) {
+        const DynInst &e = slots_[lsq_[i]];
         if (e.ti.isStore() && e.addrReady &&
             (e.ti.memAddr >> 3) == word)
             return true;
@@ -161,14 +278,14 @@ Core::tryForward(const DynInst &load)
 void
 Core::releaseBlockedLoads()
 {
-    InstSeq min_unknown = unknownStoreAddrs_.empty()
-                              ? kInvalidSeq
-                              : *unknownStoreAddrs_.begin();
+    if (blockedLoads_.empty())
+        return;
+    InstSeq min_unknown = minUnknownStore();
     std::size_t kept = 0;
     for (InstSeq s : blockedLoads_) {
-        if (s < min_unknown) {
-            if (slotOf(s))
-                readyQ_.push(s);
+        if (min_unknown == kInvalidSeq || s < min_unknown) {
+            if (auto slot = slotOf(s))
+                setReady(slots_[*slot]);
         } else {
             blockedLoads_[kept++] = s;
         }

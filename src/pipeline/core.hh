@@ -18,8 +18,6 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <queue>
-#include <set>
 #include <vector>
 
 #include "bpred/bpred_unit.hh"
@@ -39,6 +37,54 @@
 
 namespace stsim
 {
+
+/**
+ * Fixed-capacity power-of-two ring of slot indices. The pipe and
+ * window queues (fetch, dispatch, ROB, LSQ) have config-bounded
+ * occupancy, so a masked ring replaces std::deque's segmented
+ * bookkeeping with single-array indexing on the per-cycle hot paths.
+ */
+class SlotRing
+{
+  public:
+    void
+    init(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.assign(cap, 0);
+        mask_ = cap - 1;
+        head_ = tail_ = 0;
+    }
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+
+    void
+    push_back(std::uint32_t v)
+    {
+        stsim_assert(size() <= mask_, "slot ring overflow");
+        buf_[tail_++ & mask_] = v;
+    }
+
+    void pop_front() { ++head_; }
+    void pop_back() { --tail_; }
+    std::uint32_t front() const { return buf_[head_ & mask_]; }
+    std::uint32_t back() const { return buf_[(tail_ - 1) & mask_]; }
+
+    std::uint32_t
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+  private:
+    std::vector<std::uint32_t> buf_;
+    std::uint64_t mask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
 
 /** The simulated processor core. */
 class Core
@@ -89,6 +135,8 @@ class Core
     /// @{
     void commitStage();
     void writebackStage();
+    /** Result-bus/wakeup/branch-resolution work for one completion. */
+    void completeInst(DynInst &di);
     void issueStage();
     void dispatchStage();
     void decodeStage();
@@ -105,8 +153,9 @@ class Core
         WaitBranch,  ///< stalled until guard branch resolves
     };
 
-    /** Produce the next instruction on the current fetch path. */
-    TraceInst nextFetchInst();
+    /** Produce the next instruction on the current fetch path,
+     *  written straight into @p out (avoids a per-inst copy). */
+    void nextFetchInst(TraceInst &out);
 
     /** Handle a fetched control instruction; returns next fetch PC or
      *  nullopt when the fetch group must end. */
@@ -177,9 +226,50 @@ class Core
     void growSeqSlot();
     /// @}
 
+    /// @name Ready tracking
+    /// @{
+    /**
+     * Readiness is a bitmap over monotone window positions (assigned
+     * at dispatch, so position order == age order). issueStage walks
+     * set bits oldest-first -- the same selection order the previous
+     * min-heap produced, without per-entry heap churn.
+     */
+    void
+    setReady(const DynInst &di)
+    {
+        readyWords_[(di.windowPos & readyMask_) >> 6] |=
+            std::uint64_t{1} << (di.windowPos & 63);
+    }
+
+    void
+    clearReady(const DynInst &di)
+    {
+        readyWords_[(di.windowPos & readyMask_) >> 6] &=
+            ~(std::uint64_t{1} << (di.windowPos & 63));
+    }
+
+    /** First ready window position in [pos, end), or kInvalidSeq. */
+    std::uint64_t nextReadyPos(std::uint64_t pos,
+                               std::uint64_t end) const;
+    /// @}
+
+    /// @name Writeback calendar
+    /// @{
+    /** Schedule completion of @p seq at cycle @p at (strictly
+     *  future). Buckets are sorted by seq when first drained, giving
+     *  the heap's exact (cycle, seq) pop order. */
+    void wbPush(Cycle at, InstSeq seq);
+
+    /** Re-bucket pending events into a wider calendar ring. */
+    void growWbCal();
+    /// @}
+
     /// @name Issue helpers
     /// @{
-    bool loadMayIssue(const DynInst &di) const;
+    /** Oldest in-flight store with an unknown address, or
+     *  kInvalidSeq. Advances past settled entries (amortized O(1)). */
+    InstSeq minUnknownStore();
+    bool loadMayIssue(const DynInst &di);
     /** Try store-to-load forwarding; true when forwarded. */
     bool tryForward(const DynInst &load);
     void wakeConsumers(DynInst &producer);
@@ -204,28 +294,50 @@ class Core
     std::size_t inflightCount_ = 0;
 
     // Pipes and window (slot indices, oldest first).
-    std::deque<std::uint32_t> fetchQ_;
-    std::deque<std::uint32_t> dispatchQ_;
-    std::deque<std::uint32_t> rob_;
-    std::deque<std::uint32_t> lsq_;
+    SlotRing fetchQ_;
+    SlotRing dispatchQ_;
+    SlotRing rob_;
+    SlotRing lsq_;
+    std::uint64_t lsqBasePos_ = 0; ///< position of lsq_.front()
+    unsigned readyStores_ = 0; ///< in-window stores with known address
 
-    // Scheduling.
-    std::priority_queue<InstSeq, std::vector<InstSeq>,
-                        std::greater<InstSeq>>
-        readyQ_; // lazy-validated
-    struct WbEvent
+    // Scheduling: ready bitmap over window positions. robBasePos_ is
+    // the position of rob_.front(); the window covers
+    // [robBasePos_, robBasePos_ + rob_.size()).
+    std::vector<std::uint64_t> readyWords_;
+    std::uint64_t readyMask_ = 0; ///< (bit capacity - 1), pow2 >= RUU
+    std::uint64_t robBasePos_ = 0;
+
+    // Writeback calendar: one bucket per future cycle, ring-indexed.
+    struct WbBucket
     {
-        Cycle at;
-        InstSeq seq;
-        bool operator>(const WbEvent &o) const
+        std::vector<InstSeq> ev;
+        Cycle cycle = 0;          ///< cycle these events belong to
+        std::uint32_t head = 0;   ///< drain offset into ev
+        bool sorted = false;      ///< seq-sorted (set at first drain)
+
+        bool pending() const { return head < ev.size(); }
+
+        void
+        clear()
         {
-            return at != o.at ? at > o.at : seq > o.seq;
+            ev.clear();
+            head = 0;
+            sorted = false;
         }
     };
-    std::priority_queue<WbEvent, std::vector<WbEvent>,
-                        std::greater<WbEvent>>
-        wbQ_;
-    std::set<InstSeq> unknownStoreAddrs_;
+    std::vector<WbBucket> wbCal_;
+    Cycle wbCalMask_ = 0;
+    Cycle wbCursor_ = 0;      ///< oldest cycle that may hold events
+    std::size_t wbCount_ = 0; ///< pending events across all buckets
+
+    // In-flight stores with unknown addresses: seqs in dispatch
+    // (i.e. ascending) order; entries settle in place -- liveness is
+    // derived from the slot (squashed / address now known) -- and
+    // usHead_ skips settled prefixes, so min lookup is amortized O(1).
+    std::vector<InstSeq> unknownStores_;
+    std::size_t usHead_ = 0;
+
     std::vector<InstSeq> blockedLoads_;
     FuPool fuPool_;
 
@@ -239,7 +351,6 @@ class Core
     InstSeq guardBranchSeq_ = kInvalidSeq; ///< branch fetch waits on
     Addr fetchPc_ = 0;
     Cycle fetchStallUntil_ = 0;
-    Addr lastFetchLine_ = kInvalidAddr;
 
     // Capacities.
     std::size_t fetchQCap_;

@@ -13,6 +13,7 @@ void
 Core::commitStage()
 {
     unsigned n = 0;
+    unsigned reg_writes = 0;
     while (n < cfg_.commitWidth && !rob_.empty()) {
         std::uint32_t slot = rob_.front();
         DynInst &di = inst(slot);
@@ -21,10 +22,14 @@ Core::commitStage()
         stsim_assert(!di.wrongPath,
                      "wrong-path instruction reached commit");
         rob_.pop_front();
+        ++robBasePos_;
         if (isMemory(di.ti.cls)) {
             stsim_assert(!lsq_.empty() && lsq_.front() == slot,
                          "LSQ out of sync at commit");
             lsq_.pop_front();
+            ++lsqBasePos_;
+            if (di.ti.isStore())
+                --readyStores_; // committed stores had known addresses
         }
 
         if (di.ti.isStore()) {
@@ -36,7 +41,7 @@ Core::commitStage()
                 deps_.power->record(PUnit::DCache2, 1, 0);
         }
         if (di.ti.hasDest)
-            deps_.power->record(PUnit::Regfile, 1, 0);
+            ++reg_writes; // batched below (exact integer counts)
 
         if (di.ti.isBranch()) {
             deps_.bpred->commitUpdate(di.ti, di.pred);
@@ -60,6 +65,8 @@ Core::commitStage()
         lastCommitCycle_ = now_;
         freeSlot(slot);
     }
+    if (reg_writes)
+        deps_.power->record(PUnit::Regfile, reg_writes, 0);
 }
 
 void
@@ -68,16 +75,20 @@ Core::squashAfter(InstSeq seq)
     ++stats_.squashes;
 
     // LSQ first: its slots are shared with the ROB, so only unlink.
-    while (!lsq_.empty() && inst(lsq_.back()).seq > seq)
+    while (!lsq_.empty() && inst(lsq_.back()).seq > seq) {
+        const DynInst &e = inst(lsq_.back());
+        if (e.ti.isStore() && e.addrReady)
+            --readyStores_; // wrong-path store that had completed
         lsq_.pop_back();
+    }
 
-    auto drop_young = [&](std::deque<std::uint32_t> &q) {
+    auto drop_young = [&](SlotRing &q) {
         while (!q.empty() && inst(q.back()).seq > seq) {
             std::uint32_t slot = q.back();
             q.pop_back();
             DynInst &di = inst(slot);
-            if (di.ti.isStore())
-                unknownStoreAddrs_.erase(di.seq);
+            if (di.inWindow)
+                clearReady(di); // position will be reused
             ++stats_.squashedInsts;
             freeSlot(slot);
         }
@@ -88,7 +99,8 @@ Core::squashAfter(InstSeq seq)
 
     std::erase_if(blockedLoads_,
                   [seq](InstSeq s) { return s > seq; });
-    // readyQ_/wbQ_ entries are validated lazily against inflight_.
+    // Writeback-calendar events and unknownStores_ entries are
+    // validated lazily against the slot pool (slotOf).
 
     deps_.controller->squashYoungerThan(seq);
     releaseBlockedLoads();

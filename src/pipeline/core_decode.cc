@@ -20,6 +20,8 @@ Core::decodeStage()
         ++stats_.decodeThrottled;
 
     unsigned n = 0;
+    unsigned rename_cnt = 0, rename_wrong = 0;
+    unsigned reg_cnt = 0, reg_wrong = 0;
     while (n < cfg_.decodeWidth && !fetchQ_.empty()) {
         std::uint32_t slot = fetchQ_.front();
         DynInst &di = inst(slot);
@@ -50,23 +52,32 @@ Core::decodeStage()
         ++n;
 
         if (!suppress) {
-            deps_.power->record(PUnit::Rename, 1, wp ? 1 : 0);
+            ++rename_cnt;
+            rename_wrong += wp ? 1 : 0;
             unsigned nsrc = (di.ti.srcDist[0] ? 1u : 0u) +
                             (di.ti.srcDist[1] ? 1u : 0u);
-            if (nsrc) // operand read at decode (Wattch accounting)
-                deps_.power->record(PUnit::Regfile, nsrc,
-                                    wp ? nsrc : 0);
+            // Operand read at decode (Wattch accounting). Counts are
+            // small integers, so the per-cycle batch sums are exact
+            // and the recorded activity is bit-identical to the
+            // per-instruction calls it replaces.
+            reg_cnt += nsrc;
+            reg_wrong += wp ? nsrc : 0;
         }
 
         di.dispatchReady = now_ + cfg_.decodeStages;
         dispatchQ_.push_back(slot);
     }
+    if (rename_cnt)
+        deps_.power->record(PUnit::Rename, rename_cnt, rename_wrong);
+    if (reg_cnt)
+        deps_.power->record(PUnit::Regfile, reg_cnt, reg_wrong);
 }
 
 void
 Core::dispatchStage()
 {
     unsigned n = 0;
+    unsigned win_cnt = 0, win_wrong = 0;
     while (n < cfg_.decodeWidth && !dispatchQ_.empty()) {
         std::uint32_t slot = dispatchQ_.front();
         DynInst &di = inst(slot);
@@ -84,11 +95,13 @@ Core::dispatchStage()
 
         const bool wp = di.wrongPath;
         di.inWindow = true;
+        di.windowPos = robBasePos_ + rob_.size();
         rob_.push_back(slot);
         if (isMemory(di.ti.cls)) {
+            di.lsqPos = lsqBasePos_ + lsq_.size();
             lsq_.push_back(slot);
             if (di.ti.isStore())
-                unknownStoreAddrs_.insert(di.seq);
+                unknownStores_.push_back(di.seq); // seqs ascend
         }
 
         // Resolve register dependences against in-flight producers.
@@ -103,26 +116,32 @@ Core::dispatchStage()
             DynInst &prod = inst(*ps);
             if (!prod.ti.hasDest || prod.completed)
                 continue;
-            prod.consumers.push_back(di.seq);
+            prod.addConsumer(di.seq);
             ++di.waitingOn;
         }
 
-        if (!(cfg_.oracle == OracleMode::OracleDecode && wp))
-            deps_.power->record(PUnit::Window, 1, wp ? 1 : 0);
+        if (!(cfg_.oracle == OracleMode::OracleDecode && wp)) {
+            ++win_cnt;
+            win_wrong += wp ? 1 : 0;
+        }
         ++stats_.dispatchedInsts;
         if (wp)
             ++stats_.dispatchedWrongPath;
         ++n;
 
-        if (di.waitingOn == 0) {
-            bool oracle_blocked =
-                (cfg_.oracle == OracleMode::OracleSelect ||
-                 cfg_.oracle == OracleMode::OracleDecode) &&
-                wp;
-            if (!oracle_blocked)
-                readyQ_.push(di.seq);
-        }
+        // The window position may be reused after a squash: write the
+        // ready bit unconditionally so no stale state survives.
+        bool oracle_blocked =
+            (cfg_.oracle == OracleMode::OracleSelect ||
+             cfg_.oracle == OracleMode::OracleDecode) &&
+            wp;
+        if (di.waitingOn == 0 && !oracle_blocked)
+            setReady(di);
+        else
+            clearReady(di);
     }
+    if (win_cnt)
+        deps_.power->record(PUnit::Window, win_cnt, win_wrong);
 }
 
 } // namespace stsim

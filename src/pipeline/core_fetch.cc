@@ -10,20 +10,19 @@
 namespace stsim
 {
 
-TraceInst
-Core::nextFetchInst()
+void
+Core::nextFetchInst(TraceInst &out)
 {
     if (fetchMode_ == FetchMode::WrongPath) {
-        TraceInst ti = wrongCursor_->next();
-        stsim_assert(ti.pc == fetchPc_, "wrong-path fetch desync");
-        return ti;
+        out = wrongCursor_->next();
+        stsim_assert(out.pc == fetchPc_, "wrong-path fetch desync");
+        return;
     }
-    TraceInst ti = deps_.workload->next();
-    stsim_assert(ti.pc == fetchPc_,
+    out = deps_.workload->next();
+    stsim_assert(out.pc == fetchPc_,
                  "correct-path fetch desync: walker %#llx fetch %#llx",
-                 static_cast<unsigned long long>(ti.pc),
+                 static_cast<unsigned long long>(out.pc),
                  static_cast<unsigned long long>(fetchPc_));
-    return ti;
 }
 
 std::optional<Addr>
@@ -170,10 +169,9 @@ Core::fetchStage()
             }
         }
 
-        TraceInst ti = nextFetchInst();
         std::uint32_t slot = allocSlot();
         DynInst &di = inst(slot);
-        di.ti = ti;
+        nextFetchInst(di.ti); // generate straight into the slot
         di.seq = nextSeq_++;
         di.wrongPath = wp;
         di.decodeReady = now_ + cfg_.fetchStages;
@@ -185,7 +183,7 @@ Core::fetchStage()
             ++stats_.fetchedWrongPath;
         ++fetched;
 
-        if (ti.isBranch()) {
+        if (di.ti.isBranch()) {
             auto cont = processControl(di);
             if (!cont)
                 break;

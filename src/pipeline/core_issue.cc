@@ -7,6 +7,8 @@
  * wakeup network, resolves branches and triggers recovery.
  */
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "core.hh"
 
@@ -17,55 +19,58 @@ void
 Core::issueStage()
 {
     unsigned issued = 0;
-    // Entries skipped for structural reasons are re-queued after the
-    // scan; the scan bound keeps one cycle's work linear in width.
-    std::vector<InstSeq> deferred;
-
+    unsigned exec_cnt = 0, exec_wrong = 0; // Window read + ALU pairs
     const InstSeq barrier = deps_.controller->noSelectBarrier();
 
-    while (issued < cfg_.issueWidth && !readyQ_.empty()) {
-        InstSeq seq = readyQ_.top();
-        readyQ_.pop();
-        auto slot = slotOf(seq);
-        if (!slot)
-            continue; // squashed: lazy removal
-        DynInst &di = inst(*slot);
-        if (!di.inWindow || di.issued || di.waitingOn)
-            continue; // stale entry
+    // Walk ready window positions oldest-first. Entries skipped for
+    // structural reasons simply keep their ready bit; issued and
+    // store-blocked entries clear it.
+    std::uint64_t pos = robBasePos_;
+    const std::uint64_t end = robBasePos_ + rob_.size();
+
+    while (issued < cfg_.issueWidth &&
+           (pos = nextReadyPos(pos, end)) != kInvalidSeq) {
+        DynInst &di = inst(rob_[pos - robBasePos_]);
+        stsim_assert(di.inWindow && !di.issued && !di.waitingOn,
+                     "stale ready bit for seq %llu",
+                     static_cast<unsigned long long>(di.seq));
 
         // Selection throttling: entries younger than the oldest
         // outstanding no-select branch keep their request line low.
-        // The ready queue pops in age order, so every remaining entry
-        // is also younger: stop selecting.
+        // The walk is in age order, so every remaining entry is also
+        // younger: stop selecting.
         if (barrier != kInvalidSeq && di.seq > barrier) {
             ++stats_.noSelectSkips;
-            deferred.push_back(seq);
             break;
         }
 
         FuType fu = fuTypeFor(di.ti.cls);
         if (!fuPool_.available(fu)) {
-            deferred.push_back(seq);
+            ++pos; // deferred: bit stays set for a later cycle
             continue;
         }
 
         if (di.ti.isLoad() && !loadMayIssue(di)) {
             ++stats_.loadsBlockedByStore;
-            blockedLoads_.push_back(seq);
+            blockedLoads_.push_back(di.seq);
+            clearReady(di);
+            ++pos;
             continue;
         }
 
         // Issue.
         fuPool_.claim(fu);
         di.issued = true;
+        clearReady(di);
+        ++pos;
         ++issued;
         ++stats_.issuedInsts;
         const bool wp = di.wrongPath;
-        if (wp)
+        if (wp) {
             ++stats_.issuedWrongPath;
-
-        deps_.power->record(PUnit::Window, 1, wp ? 1 : 0); // operand read
-        deps_.power->record(PUnit::Alu, 1, wp ? 1 : 0);
+            ++exec_wrong;
+        }
+        ++exec_cnt; // operand read + ALU, batched below
 
         unsigned lat =
             CoreConfig::baseLatency(di.ti.cls) + cfg_.extraExecLatency;
@@ -88,52 +93,92 @@ Core::issueStage()
         }
 
         di.completeAt = now_ + lat;
-        wbQ_.push({di.completeAt, di.seq});
+        wbPush(di.completeAt, di.seq);
     }
-
-    for (InstSeq s : deferred)
-        readyQ_.push(s);
+    if (exec_cnt) {
+        deps_.power->record(PUnit::Window, exec_cnt, exec_wrong);
+        deps_.power->record(PUnit::Alu, exec_cnt, exec_wrong);
+    }
 }
 
 void
 Core::writebackStage()
 {
     unsigned done = 0;
-    while (!wbQ_.empty() && wbQ_.top().at <= now_ &&
-           done < cfg_.issueWidth) {
-        WbEvent ev = wbQ_.top();
-        auto slot = slotOf(ev.seq);
-        if (!slot) {
-            wbQ_.pop(); // squashed in flight
+    while (wbCount_ && wbCursor_ <= now_ && done < cfg_.issueWidth) {
+        WbBucket &b = wbCal_[wbCursor_ & wbCalMask_];
+        if (!b.pending() || b.cycle != wbCursor_) {
+            ++wbCursor_; // empty cycle (cell may hold a future one)
             continue;
         }
-        DynInst &di = inst(*slot);
-        stsim_assert(di.issued && !di.completed,
-                     "bogus writeback event for seq %llu",
-                     static_cast<unsigned long long>(ev.seq));
-        wbQ_.pop();
-        ++done;
-
-        di.completed = true;
-        const bool wp = di.wrongPath;
-        deps_.power->record(PUnit::ResultBus, 1, wp ? 1 : 0);
-
-        wakeConsumers(di);
-
-        if (di.ti.isStore()) {
-            di.addrReady = true;
-            unknownStoreAddrs_.erase(di.seq);
-            releaseBlockedLoads();
+        if (!b.sorted) {
+            // First drain of this cycle's bucket: order by seq so the
+            // (cycle, seq) completion order matches the old heap's.
+            // Buckets are near-sorted (same-cycle issues push in seq
+            // order), so insertion sort beats std::sort at pipe sizes.
+            if (b.ev.size() <= 24) {
+                for (std::size_t i = 1; i < b.ev.size(); ++i) {
+                    InstSeq v = b.ev[i];
+                    std::size_t j = i;
+                    for (; j > 0 && b.ev[j - 1] > v; --j)
+                        b.ev[j] = b.ev[j - 1];
+                    b.ev[j] = v;
+                }
+            } else {
+                std::sort(b.ev.begin(), b.ev.end());
+            }
+            b.sorted = true;
         }
 
-        if (di.ti.isBranch()) {
-            // Resolution: release any throttling heuristic this branch
-            // triggered, then recover if it was mispredicted.
-            if (di.confAssigned)
-                deps_.controller->onBranchResolved(di.seq);
-            if (di.seq == guardBranchSeq_)
-                resolveGuardBranch(di);
+        while (b.pending() && done < cfg_.issueWidth) {
+            InstSeq seq = b.ev[b.head];
+            auto slot = slotOf(seq);
+            if (!slot) {
+                ++b.head; // squashed in flight
+                --wbCount_;
+                continue;
+            }
+            ++b.head;
+            --wbCount_;
+            completeInst(inst(*slot));
+            ++done;
         }
+        if (!b.pending()) {
+            b.clear();
+            ++wbCursor_;
+        }
+    }
+}
+
+void
+Core::completeInst(DynInst &di)
+{
+    stsim_assert(di.issued && !di.completed,
+                 "bogus writeback event for seq %llu",
+                 static_cast<unsigned long long>(di.seq));
+    di.completed = true;
+    deps_.power->record(PUnit::ResultBus, 1, di.wrongPath ? 1 : 0);
+
+    wakeConsumers(di);
+
+    if (di.ti.isStore()) {
+        di.addrReady = true;
+        ++readyStores_;
+        // Settle the unknown-store prefix now, not just on load
+        // issue: without this a load-free phase would grow
+        // unknownStores_ for the whole run (it is append-only at
+        // dispatch and reclaimed only through minUnknownStore).
+        minUnknownStore();
+        releaseBlockedLoads();
+    }
+
+    if (di.ti.isBranch()) {
+        // Resolution: release any throttling heuristic this branch
+        // triggered, then recover if it was mispredicted.
+        if (di.confAssigned)
+            deps_.controller->onBranchResolved(di.seq);
+        if (di.seq == guardBranchSeq_)
+            resolveGuardBranch(di);
     }
 }
 

@@ -47,12 +47,68 @@ fuTypeFor(InstClass cls)
 /**
  * One in-flight instruction. Lives in a fixed slot pool; flows through
  * the fetch pipe, decode pipe and RUU by slot index.
+ *
+ * Field order is deliberate: seq (the slotOf validation word), the
+ * status flags and the inline wakeup list share the leading cache
+ * line, so the dependence-resolution path touches one line per
+ * producer. Cold spill state lives at the tail.
  */
-struct DynInst
+struct alignas(64) DynInst
 {
-    TraceInst ti;
     InstSeq seq = kInvalidSeq;
+
+    /// @name Status flags
+    /// @{
     bool wrongPath = false;
+    bool inWindow = false; ///< dispatched into the RUU
+    bool issued = false;
+    bool completed = false;
+    bool predicted = false;    ///< pred is valid
+    bool mispredicted = false; ///< known at fetch (simulator oracle)
+    bool confAssigned = false;
+    bool addrReady = false; ///< store address computed
+    /// @}
+
+    /// @name Dependences
+    /// @{
+    std::uint8_t waitingOn = 0; ///< outstanding source operands
+
+    /** Inline capacity of the wakeup list; covers almost every
+     *  producer, so the common case never touches a heap buffer. */
+    static constexpr std::size_t kInlineConsumers = 4;
+    std::uint8_t consumerCount = 0; ///< entries in consumersInline
+    InstSeq consumersInline[kInlineConsumers];
+
+    void
+    addConsumer(InstSeq seq)
+    {
+        if (consumerCount < kInlineConsumers)
+            consumersInline[consumerCount++] = seq;
+        else
+            consumersOverflow.push_back(seq);
+    }
+
+    template <typename Fn>
+    void
+    forEachConsumer(Fn &&fn) const
+    {
+        for (std::uint8_t i = 0; i < consumerCount; ++i)
+            fn(consumersInline[i]);
+        for (InstSeq s : consumersOverflow)
+            fn(s);
+    }
+
+    void
+    clearConsumers()
+    {
+        consumerCount = 0;
+        consumersOverflow.clear();
+    }
+    /// @}
+
+    TraceInst ti;
+    std::uint64_t windowPos = 0; ///< monotone ROB position (dispatch)
+    std::uint64_t lsqPos = 0;    ///< monotone LSQ position (memory ops)
 
     /// @name Pipe timing
     /// @{
@@ -61,48 +117,30 @@ struct DynInst
     Cycle completeAt = 0;    ///< cycle its result is available
     /// @}
 
-    /// @name Status flags
-    /// @{
-    bool inWindow = false; ///< dispatched into the RUU
-    bool issued = false;
-    bool completed = false;
-    /// @}
-
-    /// @name Dependences
-    /// @{
-    std::uint8_t waitingOn = 0;  ///< outstanding source operands
-    std::vector<InstSeq> consumers; ///< wakeup list (seq-addressed)
-    /// @}
-
     /// @name Branch state
     /// @{
     BranchPrediction pred;
-    bool predicted = false;    ///< pred is valid
-    bool mispredicted = false; ///< known at fetch (simulator oracle)
     ConfLevel conf = ConfLevel::VHC;
-    bool confAssigned = false;
     /// @}
 
-    /// @name Memory state
-    /// @{
-    bool addrReady = false; ///< store address computed
-    /// @}
+    std::vector<InstSeq> consumersOverflow; ///< rare wakeup spill
 
-    /** Reset for slot reuse (keeps consumer vector capacity). */
+    /**
+     * Reset for slot reuse (keeps consumer vector capacity). Only the
+     * gating flags are cleared: every other field is unconditionally
+     * rewritten before its first read on the paths that consume it
+     * (ti/seq/wrongPath/decodeReady at fetch, pred when predicted is
+     * set, conf when confAssigned is set, positions and timestamps at
+     * dispatch/issue), and seq is already kInvalidSeq from freeSlot.
+     */
     void
     reset()
     {
-        ti = TraceInst{};
-        seq = kInvalidSeq;
-        wrongPath = false;
-        decodeReady = dispatchReady = completeAt = 0;
         inWindow = issued = completed = false;
         waitingOn = 0;
-        consumers.clear();
-        pred = BranchPrediction{};
+        clearConsumers();
         predicted = false;
         mispredicted = false;
-        conf = ConfLevel::VHC;
         confAssigned = false;
         addrReady = false;
     }

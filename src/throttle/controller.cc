@@ -1,7 +1,5 @@
 #include "controller.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace stsim
@@ -12,6 +10,161 @@ SpeculationController::SpeculationController(const SpecControlConfig &cfg)
 {
     if (cfg_.mode == SpecControlMode::PipelineGating)
         stsim_assert(cfg_.gatingThreshold >= 1, "bad gating threshold");
+
+    for (std::size_t i = 0; i < kNumLevels; ++i) {
+        actFetch_[i] = BandwidthLevel::Full;
+        actDecode_[i] = BandwidthLevel::Full;
+    }
+    if (cfg_.mode == SpecControlMode::Selective) {
+        for (std::size_t i = 0; i < kNumLevels; ++i) {
+            const ThrottleAction &a =
+                cfg_.policy.action(static_cast<ConfLevel>(i));
+            actFetch_[i] = a.fetch;
+            actDecode_[i] = a.decode;
+            actNoSelect_[i] = a.noSelect;
+            actDecodeRestricted_[i] = a.decode != BandwidthLevel::Full;
+        }
+    }
+
+    // Sized for the deepest realistic in-flight branch population; the
+    // structures grow on demand so these are not correctness bounds.
+    buf_.resize(256);
+    bufMask_ = buf_.size() - 1;
+    posRing_.assign(2048, kInvalidPos);
+    posMask_ = posRing_.size() - 1;
+}
+
+std::uint64_t
+SpeculationController::findLive(InstSeq seq) const
+{
+    std::uint64_t pos = posRing_[seq & posMask_];
+    if (pos >= head_ && pos < tail_) {
+        const Tracked &t = at(pos);
+        if (t.seq == seq && t.live)
+            return pos;
+    }
+    return kInvalidPos;
+}
+
+void
+SpeculationController::indexSeq(InstSeq seq, std::uint64_t pos)
+{
+    std::uint64_t prev = posRing_[seq & posMask_];
+    if (prev != kInvalidPos && prev >= head_ && prev < tail_) {
+        const Tracked &t = at(prev);
+        if (t.live && t.seq != seq &&
+            (t.seq & posMask_) == (seq & posMask_)) {
+            growPosRing(); // would shadow a live entry: widen the ring
+        }
+    }
+    posRing_[seq & posMask_] = pos;
+}
+
+void
+SpeculationController::growPosRing()
+{
+    for (;;) {
+        posRing_.assign(posRing_.size() * 2, kInvalidPos);
+        posMask_ = posRing_.size() - 1;
+        bool ok = true;
+        for (std::uint64_t p = head_; p < tail_ && ok; ++p) {
+            const Tracked &t = at(p);
+            if (!t.live)
+                continue;
+            std::uint64_t &cell = posRing_[t.seq & posMask_];
+            if (cell != kInvalidPos)
+                ok = false; // two live seqs still collide
+            else
+                cell = p;
+        }
+        if (ok)
+            return;
+    }
+}
+
+void
+SpeculationController::rebuildBuffer(std::size_t min_capacity)
+{
+    std::size_t cap = buf_.size();
+    while (cap < min_capacity)
+        cap <<= 1;
+    std::vector<Tracked> fresh(cap);
+    std::uint64_t n = 0;
+    std::deque<std::uint64_t> nosel, dec;
+    const std::uint64_t mask = cap - 1;
+    for (std::uint64_t p = head_; p < tail_; ++p) {
+        const Tracked &t = at(p);
+        if (!t.live)
+            continue;
+        fresh[n & mask] = t;
+        auto li = static_cast<std::size_t>(t.lvl);
+        if (actNoSelect_[li])
+            nosel.push_back(n);
+        if (actDecodeRestricted_[li])
+            dec.push_back(n);
+        ++n;
+    }
+    buf_ = std::move(fresh);
+    bufMask_ = mask;
+    head_ = 0;
+    tail_ = n;
+    noSelectQ_ = std::move(nosel);
+    decodeQ_ = std::move(dec);
+    // Stale posRing_ cells cannot validate against relocated entries
+    // unless they happen to point at the right one, so a plain
+    // re-index of the live set is sufficient.
+    for (std::uint64_t p = head_; p < tail_; ++p)
+        indexSeq(at(p).seq, p);
+}
+
+void
+SpeculationController::refreshLevels()
+{
+    switch (cfg_.mode) {
+      case SpecControlMode::None:
+        return;
+      case SpecControlMode::PipelineGating:
+        fetchLevel_ = lowCount_ > cfg_.gatingThreshold
+                          ? BandwidthLevel::Stall
+                          : BandwidthLevel::Full;
+        return;
+      case SpecControlMode::Selective: {
+        BandwidthLevel f = BandwidthLevel::Full;
+        BandwidthLevel d = BandwidthLevel::Full;
+        for (std::size_t i = 0; i < kNumLevels; ++i) {
+            if (!levelCount_[i])
+                continue;
+            f = maxRestriction(f, actFetch_[i]);
+            d = maxRestriction(d, actDecode_[i]);
+        }
+        fetchLevel_ = f;
+        decodeLevel_ = d;
+        return;
+      }
+    }
+}
+
+void
+SpeculationController::refreshBarriers()
+{
+    if (cfg_.mode != SpecControlMode::Selective)
+        return;
+    while (!noSelectQ_.empty()) {
+        std::uint64_t p = noSelectQ_.front();
+        if (p >= head_ && at(p).live)
+            break;
+        noSelectQ_.pop_front();
+    }
+    while (!decodeQ_.empty()) {
+        std::uint64_t p = decodeQ_.front();
+        if (p >= head_ && at(p).live)
+            break;
+        decodeQ_.pop_front();
+    }
+    noSelectBarrier_ =
+        noSelectQ_.empty() ? kInvalidSeq : at(noSelectQ_.front()).seq;
+    decodeBarrier_ =
+        decodeQ_.empty() ? kInvalidSeq : at(decodeQ_.front()).seq;
 }
 
 void
@@ -19,12 +172,30 @@ SpeculationController::onCondBranchFetched(InstSeq seq, ConfLevel lvl)
 {
     if (cfg_.mode == SpecControlMode::None)
         return;
-    stsim_assert(tracked_.empty() || tracked_.back().seq < seq,
+    stsim_assert(tail_ == head_ || at(tail_ - 1).seq < seq,
                  "branches must arrive in fetch order");
-    tracked_.push_back({seq, lvl});
+    if (tail_ - head_ == buf_.size())
+        rebuildBuffer(liveCount_ + 1);
+
+    std::uint64_t pos = tail_++;
+    at(pos) = Tracked{seq, lvl, true};
+    indexSeq(seq, pos);
+
+    auto li = static_cast<std::size_t>(lvl);
+    ++levelCount_[li];
+    ++liveCount_;
     if (isLowConfidence(lvl))
         ++lowCount_;
-    recompute();
+    if (actNoSelect_[li])
+        noSelectQ_.push_back(pos);
+    if (actDecodeRestricted_[li])
+        decodeQ_.push_back(pos);
+
+    refreshLevels();
+    refreshBarriers();
+#ifndef NDEBUG
+    crossCheck();
+#endif
 }
 
 void
@@ -32,16 +203,32 @@ SpeculationController::onBranchResolved(InstSeq seq)
 {
     if (cfg_.mode == SpecControlMode::None)
         return;
-    auto it = std::find_if(tracked_.begin(), tracked_.end(),
-                           [seq](const Tracked &t) {
-                               return t.seq == seq;
-                           });
-    if (it == tracked_.end())
+    std::uint64_t pos = findLive(seq);
+    if (pos == kInvalidPos)
         return; // not a tracked branch (or already squashed)
-    if (isLowConfidence(it->lvl))
+
+    Tracked &t = at(pos);
+    t.live = false;
+    auto li = static_cast<std::size_t>(t.lvl);
+    --levelCount_[li];
+    --liveCount_;
+    if (isLowConfidence(t.lvl))
         --lowCount_;
-    tracked_.erase(it);
-    recompute();
+
+    // Keep the window compact from the old end. The young end must
+    // NOT retreat here: the barrier deques hold positions, and a
+    // retreating tail would let the next fetch reuse a position a
+    // stale deque entry still points at. Tombstones at the back are
+    // reclaimed by squashes (which trim the deques by position) or by
+    // the occupancy-driven rebuild.
+    while (head_ < tail_ && !at(head_).live)
+        ++head_;
+
+    refreshLevels();
+    refreshBarriers();
+#ifndef NDEBUG
+    crossCheck();
+#endif
 }
 
 void
@@ -49,43 +236,69 @@ SpeculationController::squashYoungerThan(InstSeq seq)
 {
     if (cfg_.mode == SpecControlMode::None)
         return;
-    while (!tracked_.empty() && tracked_.back().seq > seq) {
-        if (isLowConfidence(tracked_.back().lvl))
-            --lowCount_;
-        tracked_.pop_back();
-    }
-    recompute();
-}
-
-void
-SpeculationController::recompute()
-{
-    fetchLevel_ = BandwidthLevel::Full;
-    decodeLevel_ = BandwidthLevel::Full;
-    noSelectBarrier_ = kInvalidSeq;
-    decodeBarrier_ = kInvalidSeq;
-
-    switch (cfg_.mode) {
-      case SpecControlMode::None:
-        return;
-      case SpecControlMode::PipelineGating:
-        if (lowCount_ > cfg_.gatingThreshold)
-            fetchLevel_ = BandwidthLevel::Stall;
-        return;
-      case SpecControlMode::Selective:
-        for (const Tracked &t : tracked_) {
-            const ThrottleAction &a = cfg_.policy.action(t.lvl);
-            fetchLevel_ = maxRestriction(fetchLevel_, a.fetch);
-            decodeLevel_ = maxRestriction(decodeLevel_, a.decode);
-            if (a.noSelect && noSelectBarrier_ == kInvalidSeq)
-                noSelectBarrier_ = t.seq; // oldest such branch
-            if (a.decode != BandwidthLevel::Full &&
-                decodeBarrier_ == kInvalidSeq) {
-                decodeBarrier_ = t.seq;
-            }
+    while (tail_ > head_ && at(tail_ - 1).seq > seq) {
+        const Tracked &t = at(tail_ - 1);
+        if (t.live) {
+            auto li = static_cast<std::size_t>(t.lvl);
+            --levelCount_[li];
+            --liveCount_;
+            if (isLowConfidence(t.lvl))
+                --lowCount_;
         }
-        return;
+        --tail_;
     }
+    while (!noSelectQ_.empty() && noSelectQ_.back() >= tail_)
+        noSelectQ_.pop_back();
+    while (!decodeQ_.empty() && decodeQ_.back() >= tail_)
+        decodeQ_.pop_back();
+
+    refreshLevels();
+    refreshBarriers();
+#ifndef NDEBUG
+    crossCheck();
+#endif
 }
+
+#ifndef NDEBUG
+void
+SpeculationController::crossCheck() const
+{
+    // Reference semantics: a full rescan of the outstanding set, as
+    // the pre-incremental controller computed on every event.
+    BandwidthLevel f = BandwidthLevel::Full;
+    BandwidthLevel d = BandwidthLevel::Full;
+    InstSeq nosel = kInvalidSeq;
+    InstSeq decb = kInvalidSeq;
+    unsigned low = 0, live = 0;
+
+    for (std::uint64_t p = head_; p < tail_; ++p) {
+        const Tracked &t = at(p);
+        if (!t.live)
+            continue;
+        ++live;
+        if (isLowConfidence(t.lvl))
+            ++low;
+        if (cfg_.mode != SpecControlMode::Selective)
+            continue;
+        const ThrottleAction &a = cfg_.policy.action(t.lvl);
+        f = maxRestriction(f, a.fetch);
+        d = maxRestriction(d, a.decode);
+        if (a.noSelect && nosel == kInvalidSeq)
+            nosel = t.seq;
+        if (a.decode != BandwidthLevel::Full && decb == kInvalidSeq)
+            decb = t.seq;
+    }
+    if (cfg_.mode == SpecControlMode::PipelineGating)
+        f = low > cfg_.gatingThreshold ? BandwidthLevel::Stall
+                                       : BandwidthLevel::Full;
+
+    stsim_assert(live == liveCount_ && low == lowCount_,
+                 "incremental controller counter drift");
+    stsim_assert(f == fetchLevel_ && d == decodeLevel_,
+                 "incremental controller level drift");
+    stsim_assert(nosel == noSelectBarrier_ && decb == decodeBarrier_,
+                 "incremental controller barrier drift");
+}
+#endif
 
 } // namespace stsim

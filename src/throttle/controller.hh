@@ -10,6 +10,7 @@
 #define STSIM_THROTTLE_CONTROLLER_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -51,6 +52,14 @@ struct SpecControlConfig
  * PipelineGating mode: fetch is fully gated while the number of
  * outstanding low-confidence (LC/VLC) branches exceeds the gating
  * threshold (paper configuration: JRS estimator, threshold 2).
+ *
+ * The control state is maintained incrementally: per-confidence-level
+ * outstanding counts give the active bandwidth levels in O(levels)
+ * per event, the barriers come from per-action deques of tracked-entry
+ * positions (cleaned lazily, amortized O(1)), and resolution finds its
+ * entry through a seq-indexed ring instead of a linear walk. A full
+ * rescan over the outstanding set -- the reference semantics -- is
+ * kept behind !NDEBUG and cross-checked after every mutation.
  */
 class SpeculationController
 {
@@ -103,7 +112,7 @@ class SpeculationController
     BandwidthLevel decodeLevel() const { return decodeLevel_; }
 
     /** Outstanding tracked branches (diagnostics). */
-    std::size_t outstanding() const { return tracked_.size(); }
+    std::size_t outstanding() const { return liveCount_; }
 
     /** Outstanding LC/VLC branches (Pipeline Gating's M). */
     unsigned lowConfOutstanding() const { return lowCount_; }
@@ -126,21 +135,84 @@ class SpeculationController
     /// @}
 
   private:
-    void recompute();
+    /** Number of confidence levels (VHC, HC, LC, VLC). */
+    static constexpr std::size_t kNumLevels = 4;
 
+    /** One tracked branch in the position ring buffer. */
     struct Tracked
     {
         InstSeq seq;
         ConfLevel lvl;
+        bool live; ///< false once resolved (tombstone)
     };
 
+    Tracked &at(std::uint64_t pos) { return buf_[pos & bufMask_]; }
+    const Tracked &
+    at(std::uint64_t pos) const
+    {
+        return buf_[pos & bufMask_];
+    }
+
+    /** Position of the live entry for @p seq, or kInvalidPos. */
+    std::uint64_t findLive(InstSeq seq) const;
+
+    /** Re-derive fetchLevel_/decodeLevel_ from the counters (O(1)). */
+    void refreshLevels();
+
+    /** Drop dead fronts of the barrier deques; recache barriers. */
+    void refreshBarriers();
+
+    /** Compact live entries into a (possibly larger) fresh buffer. */
+    void rebuildBuffer(std::size_t min_capacity);
+
+    /** Publish seq -> pos; grows the ring on a live collision. */
+    void indexSeq(InstSeq seq, std::uint64_t pos);
+
+    /** Double posRing_ until every live seq has its own cell. */
+    void growPosRing();
+
+#ifndef NDEBUG
+    /** Reference full-rescan recomputation, asserted equal. */
+    void crossCheck() const;
+#endif
+
+    static constexpr std::uint64_t kInvalidPos =
+        ~static_cast<std::uint64_t>(0);
+
     SpecControlConfig cfg_;
-    std::vector<Tracked> tracked_; // ordered by seq (fetch order)
+
+    // Tracked branches: a circular buffer addressed by monotone
+    // position; [head_, tail_) is the (tombstone-bearing) window.
+    std::vector<Tracked> buf_;
+    std::uint64_t bufMask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+
+    // seq & posMask_ -> position, validated against the entry's own
+    // seq (same exact-ring pattern as Core's seqSlot_).
+    std::vector<std::uint64_t> posRing_;
+    InstSeq posMask_ = 0;
+
+    // Incremental state.
+    unsigned levelCount_[kNumLevels] = {0, 0, 0, 0};
     unsigned lowCount_ = 0;
+    unsigned liveCount_ = 0;
+    std::deque<std::uint64_t> noSelectQ_; ///< positions, fetch order
+    std::deque<std::uint64_t> decodeQ_;   ///< positions, fetch order
+
+    // Per-level policy actions, resolved at construction.
+    BandwidthLevel actFetch_[kNumLevels];
+    BandwidthLevel actDecode_[kNumLevels];
+    bool actNoSelect_[kNumLevels] = {false, false, false, false};
+    bool actDecodeRestricted_[kNumLevels] = {false, false, false,
+                                             false};
+
+    // Cached outputs.
     BandwidthLevel fetchLevel_ = BandwidthLevel::Full;
     BandwidthLevel decodeLevel_ = BandwidthLevel::Full;
     InstSeq noSelectBarrier_ = kInvalidSeq;
     InstSeq decodeBarrier_ = kInvalidSeq;
+
     Counter fetchGatedCycles_ = 0;
     Counter decodeGatedCycles_ = 0;
 };

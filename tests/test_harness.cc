@@ -179,6 +179,36 @@ TEST(Harness, MatrixIsWorkerCountIndependent)
         expectSameResults(serial.baseline(b), parallel.baseline(b));
 }
 
+/**
+ * Golden determinism through the parallel engine: a throttled (C2)
+ * and an unthrottled (baseline/C0) config must produce bitwise the
+ * same SimResults whether run directly or through a runJobs wave --
+ * the scheduler rework (ready bitmap, calendar writeback queue,
+ * incremental controller) must be invisible at any worker count.
+ */
+TEST(RunJobs, BitwiseIdenticalToDirectRunsForC0AndC2)
+{
+    std::vector<SimJob> jobs;
+    for (const char *exp : {"baseline", "C2"}) {
+        SimJob j;
+        j.cfg = tinyConfig();
+        j.cfg.benchmark = "crafty";
+        Experiment::byName(exp).applyTo(j.cfg);
+        j.experiment = exp;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<SimResults> pooled = runJobs(jobs, 4);
+    ASSERT_EQ(pooled.size(), 2u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SimResults direct = Simulator(jobs[i].cfg).run();
+        direct.experiment = jobs[i].experiment;
+        expectSameResults(direct, pooled[i]);
+    }
+    // The throttled run must actually have exercised the controller.
+    EXPECT_GT(pooled[1].core.fetchThrottled, 0u);
+    EXPECT_GT(pooled[1].core.noSelectSkips, 0u);
+}
+
 TEST(AverageMetrics, RejectsAverageOnlyInput)
 {
     std::vector<std::pair<std::string, RelativeMetrics>> rows;

@@ -249,6 +249,76 @@ TEST(Throttling, ConfMetricsPopulated)
     EXPECT_LT(r.pvn, 1.0);
 }
 
+namespace
+{
+
+/** The microbenchmark configuration (crafty, 50K measured commits,
+ *  10K warmup) under a named experiment. */
+SimConfig
+benchConfig(const std::string &exp)
+{
+    SimConfig cfg;
+    cfg.benchmark = "crafty";
+    cfg.maxInstructions = 50'000;
+    cfg.warmupInstructions = 10'000;
+    Experiment::byName(exp).applyTo(cfg);
+    return cfg;
+}
+
+} // namespace
+
+/**
+ * Golden scheduler determinism: the exact cycle counts, event counts
+ * and energy doubles of the unthrottled (C0/baseline) bench config,
+ * pinned from before the ready-bitmap / calendar-writeback / O(1)
+ * store-tracking rework. Any scheduling-order change -- a different
+ * issue pick, a reordered writeback, a shifted wakeup -- moves at
+ * least one of these. The doubles are compared bit-exactly: the
+ * results path uses only IEEE-deterministic arithmetic (+,*,/,sqrt).
+ */
+TEST(GoldenDeterminism, BaselineBenchConfigIsBitExact)
+{
+    SimResults r = Simulator(benchConfig("baseline")).run();
+    EXPECT_EQ(r.core.cycles, 53943u);
+    EXPECT_EQ(r.core.committedInsts, 50001u);
+    EXPECT_EQ(r.core.fetchedInsts, 81075u);
+    EXPECT_EQ(r.core.fetchedWrongPath, 30974u);
+    EXPECT_EQ(r.core.decodedInsts, 74587u);
+    EXPECT_EQ(r.core.dispatchedInsts, 67006u);
+    EXPECT_EQ(r.core.issuedInsts, 55176u);
+    EXPECT_EQ(r.core.issuedWrongPath, 5162u);
+    EXPECT_EQ(r.core.squashes, 319u);
+    EXPECT_EQ(r.core.squashedInsts, 30895u);
+    EXPECT_EQ(r.core.loadsBlockedByStore, 7314u);
+    EXPECT_EQ(r.core.loadsForwarded, 11u);
+    EXPECT_EQ(r.core.fetchIcacheStall, 424u);
+    EXPECT_EQ(r.ipc, 0x1.da95a22d30647p-1);
+    EXPECT_EQ(r.energyJ, 0x1.3156440cec345p-9);
+    EXPECT_EQ(r.wastedEnergyJ, 0x1.408d4dca6e598p-12);
+    EXPECT_EQ(r.avgPowerW, 0x1.9e93cfb20bcd5p+5);
+}
+
+/** Same pin for the throttled C2 path: additionally covers the
+ *  incremental controller's gating and no-select barrier decisions. */
+TEST(GoldenDeterminism, C2BenchConfigIsBitExact)
+{
+    SimResults r = Simulator(benchConfig("C2")).run();
+    EXPECT_EQ(r.core.cycles, 57355u);
+    EXPECT_EQ(r.core.committedInsts, 50001u);
+    EXPECT_EQ(r.core.fetchedInsts, 73135u);
+    EXPECT_EQ(r.core.fetchedWrongPath, 23034u);
+    EXPECT_EQ(r.core.issuedInsts, 51906u);
+    EXPECT_EQ(r.core.issuedWrongPath, 1895u);
+    EXPECT_EQ(r.core.noSelectSkips, 15892u);
+    EXPECT_EQ(r.core.fetchThrottled, 18351u);
+    EXPECT_EQ(r.core.decodeThrottled, 0u);
+    EXPECT_EQ(r.core.loadsBlockedByStore, 6031u);
+    EXPECT_EQ(r.ipc, 0x1.be5a14b82019ep-1);
+    EXPECT_EQ(r.energyJ, 0x1.3019dca2d8664p-9);
+    EXPECT_EQ(r.wastedEnergyJ, 0x1.ac213286dfcddp-13);
+    EXPECT_EQ(r.avgPowerW, 0x1.845612c9936f5p+5);
+}
+
 /** Deadlock-freedom sweep: every experiment on every benchmark must
  *  retire its instruction budget (the core's watchdog panics on any
  *  stall longer than 100K cycles). */

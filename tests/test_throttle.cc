@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
 #include "throttle/controller.hh"
 #include "throttle/policy.hh"
 
@@ -271,3 +275,242 @@ TEST_P(PolicyOrdering, VlcAtLeastAsAggressiveAsLc)
 INSTANTIATE_TEST_SUITE_P(
     AllFetchPolicies, PolicyOrdering,
     ::testing::Values("A1", "A2", "A3", "A4", "A5", "A6", "C1", "C2"));
+
+namespace
+{
+
+/**
+ * Reference semantics for the incremental SpeculationController: the
+ * original implementation's full rescan of every outstanding branch
+ * on each event. The production controller must agree with this on
+ * every derived output after every event.
+ */
+class ReferenceController
+{
+  public:
+    explicit ReferenceController(const SpecControlConfig &cfg)
+        : cfg_(cfg)
+    {
+    }
+
+    void
+    fetched(InstSeq seq, ConfLevel lvl)
+    {
+        if (cfg_.mode == SpecControlMode::None)
+            return;
+        tracked_.push_back({seq, lvl});
+        recompute();
+    }
+
+    void
+    resolved(InstSeq seq)
+    {
+        if (cfg_.mode == SpecControlMode::None)
+            return;
+        auto it = std::find_if(tracked_.begin(), tracked_.end(),
+                               [seq](const auto &t) {
+                                   return t.first == seq;
+                               });
+        if (it == tracked_.end())
+            return;
+        tracked_.erase(it);
+        recompute();
+    }
+
+    void
+    squashed(InstSeq seq)
+    {
+        if (cfg_.mode == SpecControlMode::None)
+            return;
+        while (!tracked_.empty() && tracked_.back().first > seq)
+            tracked_.pop_back();
+        recompute();
+    }
+
+    BandwidthLevel fetchLevel = BandwidthLevel::Full;
+    BandwidthLevel decodeLevel = BandwidthLevel::Full;
+    InstSeq noSelectBarrier = kInvalidSeq;
+    InstSeq decodeBarrier = kInvalidSeq;
+    std::size_t outstanding = 0;
+    unsigned lowConf = 0;
+
+  private:
+    void
+    recompute()
+    {
+        fetchLevel = BandwidthLevel::Full;
+        decodeLevel = BandwidthLevel::Full;
+        noSelectBarrier = kInvalidSeq;
+        decodeBarrier = kInvalidSeq;
+        outstanding = tracked_.size();
+        lowConf = 0;
+        for (const auto &[seq, lvl] : tracked_)
+            if (isLowConfidence(lvl))
+                ++lowConf;
+
+        switch (cfg_.mode) {
+          case SpecControlMode::None:
+            return;
+          case SpecControlMode::PipelineGating:
+            if (lowConf > cfg_.gatingThreshold)
+                fetchLevel = BandwidthLevel::Stall;
+            return;
+          case SpecControlMode::Selective:
+            for (const auto &[seq, lvl] : tracked_) {
+                const ThrottleAction &a = cfg_.policy.action(lvl);
+                fetchLevel = maxRestriction(fetchLevel, a.fetch);
+                decodeLevel = maxRestriction(decodeLevel, a.decode);
+                if (a.noSelect && noSelectBarrier == kInvalidSeq)
+                    noSelectBarrier = seq;
+                if (a.decode != BandwidthLevel::Full &&
+                    decodeBarrier == kInvalidSeq) {
+                    decodeBarrier = seq;
+                }
+            }
+            return;
+        }
+    }
+
+    SpecControlConfig cfg_;
+    std::vector<std::pair<InstSeq, ConfLevel>> tracked_;
+};
+
+/** Drive both controllers through one random fetch/resolve/squash
+ *  stream, asserting equivalence after every event. */
+void
+runEquivalenceStream(const SpecControlConfig &cfg, std::uint64_t seed,
+                     int events)
+{
+    SpeculationController c(cfg);
+    ReferenceController ref(cfg);
+    Rng rng(seed);
+    std::vector<InstSeq> live; // outstanding seqs, ascending
+    InstSeq next_seq = 1;
+
+    auto check = [&](int step) {
+        ASSERT_EQ(c.fetchLevel(), ref.fetchLevel) << "step " << step;
+        ASSERT_EQ(c.decodeLevel(), ref.decodeLevel) << "step " << step;
+        ASSERT_EQ(c.noSelectBarrier(), ref.noSelectBarrier)
+            << "step " << step;
+        ASSERT_EQ(c.decodeBarrier(), ref.decodeBarrier)
+            << "step " << step;
+        ASSERT_EQ(c.outstanding(), ref.outstanding) << "step " << step;
+        ASSERT_EQ(c.lowConfOutstanding(), ref.lowConf)
+            << "step " << step;
+    };
+
+    for (int i = 0; i < events; ++i) {
+        std::uint64_t pick = rng.below(100);
+        if (pick < 55 || live.empty()) {
+            // Fetch a conditional branch with a random confidence
+            // level and a (possibly gappy) ascending seq.
+            next_seq += 1 + rng.below(7);
+            auto lvl = static_cast<ConfLevel>(rng.below(4));
+            c.onCondBranchFetched(next_seq, lvl);
+            ref.fetched(next_seq, lvl);
+            live.push_back(next_seq);
+        } else if (pick < 85) {
+            // Resolve a random outstanding branch (out of order), or
+            // occasionally an unknown seq (must be ignored).
+            InstSeq seq;
+            if (rng.below(10) == 0) {
+                seq = next_seq + 1000; // never tracked
+            } else {
+                std::size_t idx = rng.below(live.size());
+                seq = live[idx];
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+            }
+            c.onBranchResolved(seq);
+            ref.resolved(seq);
+        } else {
+            // Squash somewhere in the live window (or above it).
+            InstSeq seq = live.empty()
+                              ? next_seq
+                              : live[rng.below(live.size())];
+            if (rng.below(4) == 0)
+                seq += rng.below(20); // cut between tracked seqs
+            c.squashYoungerThan(seq);
+            ref.squashed(seq);
+            live.erase(std::upper_bound(live.begin(), live.end(),
+                                        seq),
+                       live.end());
+        }
+        check(i);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+} // namespace
+
+/** Randomized equivalence: the incremental controller matches the
+ *  full-rescan reference on every output, for every named Selective
+ *  policy, across long out-of-order event streams. */
+class ControllerEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ControllerEquivalence, MatchesFullRescanReference)
+{
+    SpecControlConfig cfg;
+    cfg.mode = SpecControlMode::Selective;
+    cfg.policy = ThrottlePolicy::byName(GetParam());
+    runEquivalenceStream(cfg, 0xC0FFEE ^ std::hash<std::string>{}(
+                                             GetParam()),
+                         6000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNamedPolicies, ControllerEquivalence,
+    ::testing::ValuesIn(ThrottlePolicy::experimentNames()));
+
+TEST(ControllerEquivalence, PipelineGatingThresholds)
+{
+    for (unsigned threshold : {1u, 2u, 4u, 8u}) {
+        SpecControlConfig cfg;
+        cfg.mode = SpecControlMode::PipelineGating;
+        cfg.gatingThreshold = threshold;
+        runEquivalenceStream(cfg, 1234 + threshold, 6000);
+    }
+}
+
+TEST(ControllerEquivalence, NoneModeStaysInert)
+{
+    SpecControlConfig cfg; // mode None
+    runEquivalenceStream(cfg, 42, 2000);
+}
+
+TEST(ControllerEquivalence, StressRingGrowth)
+{
+    // Long monotone bursts with rare resolutions force the tracked
+    // window and the seq-index ring through their growth paths.
+    SpecControlConfig cfg;
+    cfg.mode = SpecControlMode::Selective;
+    cfg.policy = ThrottlePolicy::byName("C2");
+    SpeculationController c(cfg);
+    std::vector<InstSeq> live;
+    Rng rng(7);
+    InstSeq seq = 1;
+    for (int i = 0; i < 3000; ++i) {
+        seq += 1 + rng.below(3);
+        c.onCondBranchFetched(seq, static_cast<ConfLevel>(
+                                       rng.below(4)));
+        live.push_back(seq);
+        if (rng.below(100) < 3 && !live.empty()) {
+            std::size_t idx = rng.below(live.size());
+            c.onBranchResolved(live[idx]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+    EXPECT_EQ(c.outstanding(), live.size());
+    // Drain everything; the controller must return to quiescence.
+    for (InstSeq s : live)
+        c.onBranchResolved(s);
+    EXPECT_EQ(c.outstanding(), 0u);
+    EXPECT_EQ(c.fetchLevel(), BandwidthLevel::Full);
+    EXPECT_EQ(c.noSelectBarrier(), kInvalidSeq);
+    EXPECT_EQ(c.decodeBarrier(), kInvalidSeq);
+}
