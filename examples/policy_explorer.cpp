@@ -7,13 +7,17 @@
  * Usage:
  *   policy_explorer [--exp NAME[,NAME...]] [--bench NAME|all]
  *                   [--insts N] [--bpru inc,dec,alloc] [--depth D]
+ *                   [--out FILE] [--format jsonl|csv]
  *
  * A comma-separated experiment list runs as one parallel matrix wave
- * (STSIM_JOBS workers).
+ * (STSIM_JOBS workers). With --out, every full SimResults is streamed
+ * to FILE through the results sink as jobs complete (JSONL by default,
+ * or CSV; .csv extensions auto-select CSV) -- the tables printed to
+ * stdout stay the same.
  *
  * Examples:
  *   policy_explorer --exp C2 --bench all
- *   policy_explorer --exp A5,C2,PG --bench all
+ *   policy_explorer --exp A5,C2,PG --bench all --out sweep.csv
  *   policy_explorer --exp A5 --bench go --insts 2000000
  *   policy_explorer --exp C2 --bpru 4,1,3
  */
@@ -22,11 +26,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "core/parallel_harness.hh"
+#include "core/results_sink.hh"
 
 using namespace stsim;
 
@@ -35,6 +43,8 @@ main(int argc, char **argv)
 {
     std::string exp_name = "C2";
     std::string bench = "all";
+    std::string out_path;
+    std::string format;
     std::uint64_t insts = 0;
     unsigned depth = 14;
     BpruEstimator::Params bpru{};
@@ -56,6 +66,10 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--depth")) {
             depth = static_cast<unsigned>(
                 std::strtoul(need("--depth"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--out")) {
+            out_path = need("--out");
+        } else if (!std::strcmp(argv[i], "--format")) {
+            format = need("--format");
         } else if (!std::strcmp(argv[i], "--bpru")) {
             unsigned inc, dec, alloc;
             if (std::sscanf(need("--bpru"), "%u,%u,%u", &inc, &dec,
@@ -97,6 +111,19 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (out_path.empty() && !format.empty()) {
+        std::fprintf(stderr, "--format requires --out\n");
+        return 2;
+    }
+
+    // Optional streaming sink: full per-run results go to disk as
+    // jobs complete; only the metric tables stay in memory.
+    std::unique_ptr<ResultsSink> sink =
+        out_path.empty()
+            ? std::unique_ptr<ResultsSink>(
+                  std::make_unique<NullResultsSink>())
+            : openSink(out_path, format);
+
     auto addRow = [](TextTable &t, const std::string &name,
                      const RelativeMetrics &m) {
         t.addRow({name, TextTable::num(m.speedup, 3),
@@ -106,7 +133,7 @@ main(int argc, char **argv)
     };
 
     if (bench == "all") {
-        std::vector<Harness::SuiteRows> tables = h.runMatrix(exps);
+        std::vector<Harness::SuiteRows> tables = h.runMatrix(exps, *sink);
         for (std::size_t i = 0; i < exps.size(); ++i) {
             TextTable t({"bench", "speedup", "power sav", "energy sav",
                          "E-D impr"});
@@ -119,12 +146,48 @@ main(int argc, char **argv)
                 std::cout << "\n";
         }
     } else {
+        // Single-benchmark runs stream through the same commit path:
+        // one wave of jobs, each result written to the sink before its
+        // metrics row is derived.
+        std::vector<SimJob> jobs;
         for (const Experiment &exp : exps) {
+            SimJob j;
+            j.cfg = std::as_const(h).baseConfig();
+            j.cfg.benchmark = bench;
+            exp.applyTo(j.cfg);
+            j.experiment = exp.name;
+            jobs.push_back(std::move(j));
+        }
+        const SimResults &base_r = h.baseline(bench);
+        class SingleBenchTee : public TeeSink
+        {
+          public:
+            SingleBenchTee(ResultsSink &inner, const SimResults &base,
+                           std::vector<RelativeMetrics> &metrics)
+                : TeeSink(inner), base_(base), metrics_(metrics)
+            {
+            }
+
+          protected:
+            void
+            onResult(std::uint64_t, const SimResults &r) override
+            {
+                metrics_.push_back(RelativeMetrics::compute(base_, r));
+            }
+
+          private:
+            const SimResults &base_;
+            std::vector<RelativeMetrics> &metrics_;
+        };
+        std::vector<RelativeMetrics> metrics;
+        SingleBenchTee tee(*sink, base_r, metrics);
+        runJobs(jobs, tee);
+        for (std::size_t i = 0; i < exps.size(); ++i) {
             TextTable t({"bench", "speedup", "power sav", "energy sav",
                          "E-D impr"});
-            t.setTitle("Experiment " + exp.name + " (" +
-                       exp.description + ")");
-            addRow(t, bench, h.relative(bench, exp));
+            t.setTitle("Experiment " + exps[i].name + " (" +
+                       exps[i].description + ")");
+            addRow(t, bench, metrics[i]);
             t.print(std::cout);
         }
     }

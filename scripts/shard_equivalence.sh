@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Shard-equivalence gate: run the pinned golden matrix as 4 separate
+# stsim_runner subprocesses (--shard i/4), merge the JSONL shard
+# outputs back into submission order, and require the merged stream to
+# be byte-identical to an in-process `dump` of the same manifest.
+# CI runs this on every PR; locally:
+#
+#   cmake -B build -S . && cmake --build build --target stsim_runner
+#   scripts/shard_equivalence.sh build
+set -euo pipefail
+
+BUILD=${1:-build}
+RUNNER="$BUILD/stsim_runner"
+if [ ! -x "$RUNNER" ]; then
+    echo "shard_equivalence: $RUNNER not built" >&2
+    exit 2
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$RUNNER" manifest --suite golden --out "$TMP/manifest.jsonl"
+total=$(wc -l < "$TMP/manifest.jsonl")
+
+pids=()
+for i in 0 1 2 3; do
+    "$RUNNER" run --manifest "$TMP/manifest.jsonl" --shard "$i/4" \
+        --out "$TMP/shard$i.jsonl" &
+    pids+=("$!")
+done
+for p in "${pids[@]}"; do
+    wait "$p"
+done
+
+"$RUNNER" merge --out "$TMP/merged.jsonl" --expect "$total" \
+    "$TMP"/shard0.jsonl "$TMP"/shard1.jsonl \
+    "$TMP"/shard2.jsonl "$TMP"/shard3.jsonl
+"$RUNNER" dump --manifest "$TMP/manifest.jsonl" --out "$TMP/direct.jsonl"
+
+cmp "$TMP/merged.jsonl" "$TMP/direct.jsonl"
+echo "shard_equivalence: 4-shard merge is bit-identical to the" \
+     "in-process dump ($total results)"

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Grow-on-collision masked sequence ring: a power-of-two direct-mapped
+ * table from a monotone sequence number to a small value (a slot or
+ * position), validated by the caller against the referent's own seq.
+ *
+ * The pattern appears wherever a hot path needs exact O(1)
+ * seq -> entry lookup without a hash map: the cell at `seq & mask` is
+ * only trusted when the entry it points at still carries `seq`, and an
+ * insert that would overwrite the cell of a *live* aliasing seq first
+ * doubles the ring until every live seq owns its own cell. Lookups are
+ * therefore exact (never falsely positive, never falsely negative for
+ * a live seq), not probabilistic, with no sizing proof required.
+ *
+ * Shared by Core's seq -> slot map and the SpeculationController's
+ * seq -> tracked-position map; both call sites keep their existing
+ * validation of a looked-up value against the backing structure.
+ */
+
+#ifndef STSIM_COMMON_SEQ_RING_HH
+#define STSIM_COMMON_SEQ_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace stsim
+{
+
+/**
+ * @tparam ValueT Small trivially-copyable handle stored per cell
+ *         (e.g. a slot index or a window position).
+ *
+ * The owner supplies two callables:
+ *  - liveSeqOf(ValueT) -> InstSeq: the seq currently live at that
+ *    handle, or kInvalidSeq when the handle is vacant/dead/stale.
+ *  - forEachLive(fn): invokes fn(InstSeq, ValueT) for every live
+ *    entry in the backing structure (used to refill after growth).
+ */
+template <typename ValueT>
+class SeqRing
+{
+  public:
+    /**
+     * (Re)initialize with the smallest power-of-two cell count
+     * >= @p min_cells. Vacant cells hold @p vacant; the caller's
+     * validation must treat a lookup of @p vacant as a miss (either
+     * because it is an always-dead sentinel, or because the referent's
+     * seq comparison rejects it).
+     */
+    void
+    init(std::size_t min_cells, ValueT vacant)
+    {
+        vacant_ = vacant;
+        std::size_t cells = 1;
+        while (cells < min_cells)
+            cells <<= 1;
+        cells_.assign(cells, vacant_);
+        mask_ = cells - 1;
+    }
+
+    /** The cell for @p seq; trust only after caller-side validation. */
+    ValueT operator[](InstSeq seq) const { return cells_[seq & mask_]; }
+
+    /** Current index mask (cell count - 1). */
+    InstSeq mask() const { return mask_; }
+
+    std::size_t cellCount() const { return cells_.size(); }
+
+    /**
+     * Publish @p seq -> @p value. When the cell already serves a
+     * *live* different seq that aliases under the current mask, the
+     * ring doubles (rebuilt from @p forEachLive) until every live seq
+     * has its own cell, so no live mapping is ever evicted.
+     */
+    template <typename LiveSeqOf, typename ForEachLive>
+    void
+    insert(InstSeq seq, ValueT value, LiveSeqOf &&liveSeqOf,
+           ForEachLive &&forEachLive)
+    {
+        const ValueT prev = cells_[seq & mask_];
+        const InstSeq prev_seq = liveSeqOf(prev);
+        if (prev_seq != kInvalidSeq && prev_seq != seq &&
+            (prev_seq & mask_) == (seq & mask_)) {
+            grow(forEachLive); // would evict a live entry: rebuild
+        }
+        cells_[seq & mask_] = value;
+    }
+
+    /**
+     * Double the ring until every live seq maps to a distinct cell,
+     * then refill from @p forEachLive. Stale cells are reset to the
+     * vacant value.
+     */
+    template <typename ForEachLive>
+    void
+    grow(ForEachLive &&forEachLive)
+    {
+        std::size_t n = cells_.size();
+        for (;;) {
+            n <<= 1;
+            std::vector<ValueT> fresh(n, vacant_);
+            std::vector<bool> used(n, false);
+            const InstSeq mask = n - 1;
+            bool ok = true;
+            forEachLive([&](InstSeq seq, ValueT value) {
+                std::size_t cell = seq & mask;
+                if (used[cell])
+                    ok = false; // two live seqs still collide
+                used[cell] = true;
+                fresh[cell] = value;
+            });
+            if (!ok)
+                continue;
+            cells_ = std::move(fresh);
+            mask_ = mask;
+#ifndef NDEBUG
+            // Every live seq must now own its cell exclusively.
+            forEachLive([&](InstSeq seq, ValueT value) {
+                stsim_assert(cells_[seq & mask_] == value,
+                             "seq ring lost a live mapping in grow");
+            });
+#endif
+            return;
+        }
+    }
+
+  private:
+    std::vector<ValueT> cells_;
+    InstSeq mask_ = 0;
+    ValueT vacant_{};
+};
+
+} // namespace stsim
+
+#endif // STSIM_COMMON_SEQ_RING_HH

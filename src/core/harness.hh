@@ -19,6 +19,8 @@
 namespace stsim
 {
 
+class ResultsSink;
+
 /** Runs experiments over the benchmark suite with a cached baseline. */
 class Harness
 {
@@ -63,6 +65,17 @@ class Harness
      * @param workers Worker threads; 0 resolves STSIM_JOBS / hardware.
      */
     std::vector<SuiteRows> runMatrix(const std::vector<Experiment> &exps,
+                                     unsigned workers = 0);
+
+    /**
+     * Streaming variant: every experiment-job SimResults is committed
+     * to @p sink in submission order as it completes (the same commit
+     * path the sharded runner uses), while only the small metric
+     * tables accumulate in memory. Baselines are computed in a
+     * preceding wave and are not streamed.
+     */
+    std::vector<SuiteRows> runMatrix(const std::vector<Experiment> &exps,
+                                     ResultsSink &sink,
                                      unsigned workers = 0);
 
     /**

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Serialization layer for the out-of-process experiment engine: round
+ * trips SimConfig / SimJob / SimResults through a compact line-based
+ * JSON format (JSONL). Every double is encoded as a C99 hex-float
+ * string ("0x1.3156440cec345p-9"), so parse(serialize(x)) reproduces x
+ * bit for bit -- the property the sharded runner's merge-vs-in-process
+ * equivalence gate relies on.
+ *
+ * One serialized value per line, no embedded newlines: a manifest is
+ * one SimJob per line, a result stream is one indexed SimResults
+ * record per line, and shard outputs can be merged by sorting lines on
+ * their "index" field without re-serializing.
+ */
+
+#ifndef STSIM_CORE_JOB_SERDE_HH
+#define STSIM_CORE_JOB_SERDE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/parallel_harness.hh"
+#include "core/sim_config.hh"
+#include "core/sim_results.hh"
+
+namespace stsim
+{
+namespace serde
+{
+
+/** Serialize a full SimConfig as one JSON object (one line). */
+std::string toJson(const SimConfig &cfg);
+
+/** Parse a SimConfig; fatals on malformed input. */
+SimConfig configFromJson(std::string_view json);
+
+/** Serialize a manifest entry: {"experiment": ..., "cfg": {...}}. */
+std::string toJson(const SimJob &job);
+
+/** Parse a manifest entry; fatals on malformed input. */
+SimJob jobFromJson(std::string_view json);
+
+/** Serialize a SimResults with bit-exact doubles. */
+std::string toJson(const SimResults &r);
+
+/** Parse a SimResults; fatals on malformed input. */
+SimResults resultsFromJson(std::string_view json);
+
+/**
+ * Serialize one result-stream record: the submission index plus the
+ * full SimResults. The index is what makes shard outputs mergeable
+ * back into submission order.
+ */
+std::string resultRecordToJson(std::uint64_t index, const SimResults &r);
+
+/** Parse a result-stream record into (index, results). */
+std::pair<std::uint64_t, SimResults>
+resultRecordFromJson(std::string_view json);
+
+/** The submission index of a result-stream record (cheap field pick). */
+std::uint64_t resultRecordIndex(std::string_view json);
+
+/** Bit-exact hex-float encoding of a double ("%a"). */
+std::string doubleToHex(double d);
+
+/** Inverse of doubleToHex; also accepts plain decimal doubles. */
+double doubleFromHex(std::string_view s);
+
+} // namespace serde
+} // namespace stsim
+
+#endif // STSIM_CORE_JOB_SERDE_HH

@@ -1,20 +1,27 @@
 #include "parallel_harness.hh"
 
 #include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 
 #include "core/harness.hh"
+#include "core/results_sink.hh"
 #include "core/run_pool.hh"
 #include "core/simulator.hh"
 
 namespace stsim
 {
 
-std::vector<SimResults>
-runJobs(const std::vector<SimJob> &jobs, unsigned workers)
+StreamStats
+runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
+        unsigned workers)
 {
-    std::vector<SimResults> results(jobs.size());
-    if (jobs.empty())
-        return results;
+    StreamStats stats;
+    if (jobs.empty()) {
+        sink.flush();
+        return stats;
+    }
 
     // Warm the shared program cache first — one build per distinct
     // benchmark, itself fanned out over the pool — so the job wave
@@ -31,11 +38,104 @@ runJobs(const std::vector<SimJob> &jobs, unsigned workers)
     pool.parallelFor(names.size(), [&](std::size_t i) {
         Simulator::programFor(names[i]);
     });
-    pool.parallelFor(jobs.size(), [&](std::size_t i) {
-        SimResults r = Simulator(jobs[i].cfg).run();
-        r.experiment = jobs[i].experiment;
-        results[i] = std::move(r);
-    });
+
+    // In-order streaming commit with a bounded reorder window. A
+    // worker may not *start* job i until i is within `window` of the
+    // commit frontier, which caps the completed-but-unwritable set at
+    // `window` entries however large the wave is. The job at the
+    // frontier always passes the gate, so the oldest incomplete job is
+    // always running and the wave cannot deadlock.
+    std::mutex mu;
+    std::condition_variable gate;
+    std::size_t next = 0; // commit frontier (submission order)
+    std::map<std::size_t, SimResults> pending;
+    bool aborted = false; // a job threw: frontier will never advance
+    const std::size_t window =
+        std::max<std::size_t>(std::size_t{2} * pool.workers(), 4);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&, i] {
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                gate.wait(lock,
+                          [&] { return aborted || i < next + window; });
+                if (aborted)
+                    return;
+            }
+            SimResults r;
+            try {
+                r = Simulator(jobs[i].cfg).run();
+            } catch (...) {
+                // This job's result will never reach `pending`, so the
+                // frontier is stuck: release every gate-blocked worker
+                // or pool.wait() would deadlock instead of rethrowing.
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    aborted = true;
+                }
+                gate.notify_all();
+                throw; // surfaces through pool.wait()
+            }
+            r.experiment = jobs[i].experiment;
+
+            std::lock_guard<std::mutex> lock(mu);
+            if (aborted)
+                return;
+            pending.emplace(i, std::move(r));
+            stats.maxPending =
+                std::max(stats.maxPending, pending.size());
+            while (!pending.empty() && pending.begin()->first == next) {
+                // Consume the record before writing, and mark the
+                // abort while still holding the lock on a throwing
+                // write: no drain (they are serialized under `mu`,
+                // which also spares sinks their own locking) can ever
+                // re-attempt an index or commit past a failure.
+                SimResults out = std::move(pending.begin()->second);
+                pending.erase(pending.begin());
+                const std::size_t idx = next++;
+                gate.notify_all();
+                try {
+                    sink.write(idx, out);
+                } catch (...) {
+                    aborted = true;
+                    gate.notify_all();
+                    throw; // lock released by unwinding
+                }
+            }
+        });
+    }
+    pool.wait();
+    sink.flush();
+    return stats;
+}
+
+namespace
+{
+
+/** Commits a wave into a preallocated vector (in-memory callers). */
+class VectorSink : public ResultsSink
+{
+  public:
+    explicit VectorSink(std::vector<SimResults> &out) : out_(out) {}
+
+    void
+    write(std::uint64_t index, const SimResults &r) override
+    {
+        out_[index] = r;
+    }
+
+  private:
+    std::vector<SimResults> &out_;
+};
+
+} // namespace
+
+std::vector<SimResults>
+runJobs(const std::vector<SimJob> &jobs, unsigned workers)
+{
+    std::vector<SimResults> results(jobs.size());
+    VectorSink sink(results);
+    runJobs(jobs, sink, workers);
     return results;
 }
 
@@ -68,6 +168,14 @@ Harness::computeBaselines(unsigned workers)
 std::vector<Harness::SuiteRows>
 Harness::runMatrix(const std::vector<Experiment> &exps, unsigned workers)
 {
+    NullResultsSink sink;
+    return runMatrix(exps, sink, workers);
+}
+
+std::vector<Harness::SuiteRows>
+Harness::runMatrix(const std::vector<Experiment> &exps,
+                   ResultsSink &sink, unsigned workers)
+{
     computeBaselines(workers);
 
     const std::vector<std::string> &benches = benchmarks();
@@ -83,23 +191,44 @@ Harness::runMatrix(const std::vector<Experiment> &exps, unsigned workers)
             jobs.push_back(std::move(j));
         }
     }
-    std::vector<SimResults> results = runJobs(jobs, workers);
 
-    // Commit in submission order: experiment-major, benchmark-minor.
-    std::vector<SuiteRows> tables;
-    tables.reserve(exps.size());
-    std::size_t i = 0;
-    for (std::size_t e = 0; e < exps.size(); ++e) {
-        SuiteRows rows;
-        rows.reserve(benches.size() + 1);
-        for (const std::string &b : benches) {
-            rows.emplace_back(
-                b, RelativeMetrics::compute(baselines_.at(b),
-                                            results[i++]));
+    // Stream full results to the caller's sink while folding each one
+    // down to its four relative metrics as it commits — only the small
+    // metric tables stay resident, experiment-major, benchmark-minor.
+    class MetricsTee : public TeeSink
+    {
+      public:
+        MetricsTee(Harness &h, ResultsSink &inner,
+                   const std::vector<std::string> &benches,
+                   std::vector<SuiteRows> &tables)
+            : TeeSink(inner), h_(h), benches_(benches), tables_(tables)
+        {
         }
+
+      protected:
+        void
+        onResult(std::uint64_t index, const SimResults &r) override
+        {
+            const std::string &bench = benches_[index % benches_.size()];
+            tables_[index / benches_.size()].emplace_back(
+                bench, RelativeMetrics::compute(
+                           h_.baselines_.at(bench), r));
+        }
+
+      private:
+        Harness &h_;
+        const std::vector<std::string> &benches_;
+        std::vector<SuiteRows> &tables_;
+    };
+
+    std::vector<SuiteRows> tables(exps.size());
+    for (SuiteRows &rows : tables)
+        rows.reserve(benches.size() + 1);
+    MetricsTee tee(*this, sink, benches, tables);
+    runJobs(jobs, tee, workers);
+
+    for (SuiteRows &rows : tables)
         rows.emplace_back("Average", averageMetrics(rows));
-        tables.push_back(std::move(rows));
-    }
     return tables;
 }
 

@@ -1,15 +1,18 @@
 /**
  * @file
  * Parallel experiment engine: turns lists of fully-specified
- * simulation jobs into results using a RunPool, with results committed
- * in submission order so the output is bitwise identical for any
- * worker count. Harness::runMatrix and the bench drivers that need
- * per-job config control (Figure 7, Tables 1-2) route through here.
+ * simulation jobs into results using a RunPool. All paths -- the
+ * in-memory vector API, the Harness matrix waves, and the sharded
+ * stsim_runner -- share one streaming commit path: results are handed
+ * to a ResultsSink in submission order as jobs complete, behind a
+ * bounded reorder window, so the output is bitwise identical for any
+ * worker count and peak memory does not grow with matrix size.
  */
 
 #ifndef STSIM_CORE_PARALLEL_HARNESS_HH
 #define STSIM_CORE_PARALLEL_HARNESS_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,8 @@
 namespace stsim
 {
 
+class ResultsSink;
+
 /** One fully-specified simulation job. */
 struct SimJob
 {
@@ -26,14 +31,39 @@ struct SimJob
     std::string experiment; ///< stamped into SimResults::experiment
 };
 
+/** Engine diagnostics for one wave. */
+struct StreamStats
+{
+    /**
+     * High-water mark of results held for in-order commit. Bounded by
+     * the reorder window (a small multiple of the worker count), never
+     * by the number of jobs -- the "streaming, not accumulating"
+     * guarantee a big sweep relies on.
+     */
+    std::size_t maxPending = 0;
+};
+
 /**
- * Run every job on a RunPool and return results in submission order.
+ * Run every job on a RunPool, committing each result to @p sink in
+ * submission order as soon as its contiguous prefix has completed.
  *
  * Each job constructs its own Simulator, so the only shared state is
  * the read-mostly program cache (internally synchronized). Results
- * are independent of @p workers.
+ * are independent of @p workers. Workers that run too far ahead of
+ * the in-order commit frontier are paused (bounded reorder window),
+ * which caps held results without limiting steady-state parallelism.
+ *
+ * sink.write() calls are serialized and in submission order;
+ * sink.flush() runs once after the last write.
  *
  * @param workers Worker threads; 0 resolves STSIM_JOBS / hardware.
+ */
+StreamStats runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
+                    unsigned workers = 0);
+
+/**
+ * Convenience wrapper over the streaming engine for callers that want
+ * the whole wave in memory: returns results in submission order.
  */
 std::vector<SimResults> runJobs(const std::vector<SimJob> &jobs,
                                 unsigned workers = 0);

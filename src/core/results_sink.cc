@@ -1,0 +1,235 @@
+#include "results_sink.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "core/job_serde.hh"
+
+namespace stsim
+{
+
+ResultsSink::~ResultsSink() = default;
+
+void
+JsonlResultsSink::write(std::uint64_t index, const SimResults &r)
+{
+    out_ << serde::resultRecordToJson(index, r) << '\n';
+}
+
+void
+JsonlResultsSink::flush()
+{
+    out_.flush();
+    if (!out_)
+        stsim_fatal("JSONL results sink: stream write failed");
+}
+
+namespace
+{
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendDbl(std::string &out, double v)
+{
+    // 17 significant digits round-trip an IEEE binary64 exactly
+    // through a correctly-rounding strtod.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void
+appendField(std::string &out, const std::string &s)
+{
+    // Built-in names are plain, but manifests may carry arbitrary
+    // custom-profile/experiment strings: RFC 4180-quote when needed.
+    if (s.find_first_of(",\"\n\r") == std::string::npos) {
+        out += s;
+        return;
+    }
+    out += '"';
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+CsvResultsSink::header()
+{
+    std::string h = "index,benchmark,experiment";
+    h += ",cycles,committedInsts,committedBranches"
+         ",committedCondBranches,condMispredicts"
+         ",fetchedInsts,fetchedWrongPath,decodedInsts,decodedWrongPath"
+         ",dispatchedInsts,dispatchedWrongPath,issuedInsts"
+         ",issuedWrongPath,squashes,squashedInsts,btbMisfetches"
+         ",rasMispredicts,fetchIcacheStall,fetchRedirectStall"
+         ",fetchThrottled,decodeThrottled,oracleFetchStall"
+         ",robFullStalls,lsqFullStalls,noSelectSkips,loadsForwarded"
+         ",loadsBlockedByStore,oracleSelectSkips,oracleDecodeDrops";
+    h += ",ipc,seconds,avgPowerW,energyJ,edProduct,wastedEnergyJ"
+         ",condMissRate,spec,pvn,il1MissRate,dl1MissRate,l2MissRate";
+    for (PUnit u : kAllPUnits) {
+        h += ",energyJ_";
+        h += punitName(u);
+    }
+    for (PUnit u : kAllPUnits) {
+        h += ",wastedJ_";
+        h += punitName(u);
+    }
+    for (PUnit u : kAllPUnits) {
+        h += ",act_";
+        h += punitName(u);
+    }
+    return h;
+}
+
+std::string
+CsvResultsSink::row(std::uint64_t index, const SimResults &r)
+{
+    std::string out;
+    appendU64(out, index);
+    out += ',';
+    appendField(out, r.benchmark);
+    out += ',';
+    appendField(out, r.experiment);
+    const CoreStats &c = r.core;
+    for (Counter v :
+         {c.cycles, c.committedInsts, c.committedBranches,
+          c.committedCondBranches, c.condMispredicts, c.fetchedInsts,
+          c.fetchedWrongPath, c.decodedInsts, c.decodedWrongPath,
+          c.dispatchedInsts, c.dispatchedWrongPath, c.issuedInsts,
+          c.issuedWrongPath, c.squashes, c.squashedInsts,
+          c.btbMisfetches, c.rasMispredicts, c.fetchIcacheStall,
+          c.fetchRedirectStall, c.fetchThrottled, c.decodeThrottled,
+          c.oracleFetchStall, c.robFullStalls, c.lsqFullStalls,
+          c.noSelectSkips, c.loadsForwarded, c.loadsBlockedByStore,
+          c.oracleSelectSkips, c.oracleDecodeDrops}) {
+        out += ',';
+        appendU64(out, v);
+    }
+    for (double v :
+         {r.ipc, r.seconds, r.avgPowerW, r.energyJ, r.edProduct,
+          r.wastedEnergyJ, r.condMissRate, r.spec, r.pvn,
+          r.il1MissRate, r.dl1MissRate, r.l2MissRate}) {
+        out += ',';
+        appendDbl(out, v);
+    }
+    for (double v : r.unitEnergyJ) {
+        out += ',';
+        appendDbl(out, v);
+    }
+    for (double v : r.unitWastedJ) {
+        out += ',';
+        appendDbl(out, v);
+    }
+    for (double v : r.unitActivity) {
+        out += ',';
+        appendDbl(out, v);
+    }
+    return out;
+}
+
+void
+CsvResultsSink::write(std::uint64_t index, const SimResults &r)
+{
+    if (!wroteHeader_) {
+        out_ << header() << '\n';
+        wroteHeader_ = true;
+    }
+    out_ << row(index, r) << '\n';
+}
+
+void
+CsvResultsSink::flush()
+{
+    out_.flush();
+    if (!out_)
+        stsim_fatal("CSV results sink: stream write failed");
+}
+
+void
+IndexRemapSink::write(std::uint64_t index, const SimResults &r)
+{
+    stsim_assert(index < globalIndex_.size(),
+                 "remap sink: index %llu out of range",
+                 static_cast<unsigned long long>(index));
+    inner_.write(globalIndex_[index], r);
+}
+
+void
+IndexRemapSink::flush()
+{
+    inner_.flush();
+}
+
+namespace
+{
+
+/** File-backed sink: owns the stream its inner formatter writes to. */
+class OwningFileSink : public ResultsSink
+{
+  public:
+    OwningFileSink(const std::string &path, bool csv)
+    {
+        file_.open(path);
+        if (!file_)
+            stsim_fatal("cannot open '%s' for writing", path.c_str());
+        if (csv)
+            inner_ = std::make_unique<CsvResultsSink>(file_);
+        else
+            inner_ = std::make_unique<JsonlResultsSink>(file_);
+    }
+
+    void
+    write(std::uint64_t index, const SimResults &r) override
+    {
+        inner_->write(index, r);
+    }
+
+    void flush() override { inner_->flush(); }
+
+  private:
+    std::ofstream file_;
+    std::unique_ptr<ResultsSink> inner_;
+};
+
+} // namespace
+
+std::unique_ptr<ResultsSink>
+openSink(const std::string &path, const std::string &format)
+{
+    bool csv = false;
+    if (format == "csv") {
+        csv = true;
+    } else if (format.empty()) {
+        csv = path.size() >= 4 &&
+              path.compare(path.size() - 4, 4, ".csv") == 0;
+    } else if (format != "jsonl") {
+        stsim_fatal("unknown results format '%s' (jsonl or csv)",
+                    format.c_str());
+    }
+    if (path.empty() || path == "-") {
+        if (csv)
+            return std::make_unique<CsvResultsSink>(std::cout);
+        return std::make_unique<JsonlResultsSink>(std::cout);
+    }
+    return std::make_unique<OwningFileSink>(path, csv);
+}
+
+} // namespace stsim

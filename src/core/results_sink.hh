@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Streaming results sinks for the experiment engine: SimResults are
+ * committed to the sink in submission order as jobs complete, instead
+ * of accumulating whole benchmark x policy matrices in memory. The
+ * JSONL sink is the sharded runner's wire format (bit-exact doubles);
+ * the CSV sink is the human/spreadsheet format.
+ */
+
+#ifndef STSIM_CORE_RESULTS_SINK_HH
+#define STSIM_CORE_RESULTS_SINK_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim_results.hh"
+
+namespace stsim
+{
+
+/**
+ * Receives one SimResults per job. The engine guarantees write() is
+ * called exactly once per job, in submission order, serialized (never
+ * concurrently), so implementations need no locking.
+ */
+class ResultsSink
+{
+  public:
+    virtual ~ResultsSink();
+
+    /** Commit the result of submission index @p index. */
+    virtual void write(std::uint64_t index, const SimResults &r) = 0;
+
+    /** Called once after the last write of a wave. */
+    virtual void flush() {}
+};
+
+/** Discards everything (in-process callers that only want metrics). */
+class NullResultsSink : public ResultsSink
+{
+  public:
+    void write(std::uint64_t, const SimResults &) override {}
+};
+
+/**
+ * One indexed JSON record per line (serde::resultRecordToJson).
+ * Because every double is hex-float encoded, two JSONL streams are
+ * byte-identical iff the results are bit-identical -- the property the
+ * CI shard-equivalence gate diffs for.
+ */
+class JsonlResultsSink : public ResultsSink
+{
+  public:
+    /** Writes to @p out; the stream must outlive the sink. */
+    explicit JsonlResultsSink(std::ostream &out) : out_(out) {}
+
+    void write(std::uint64_t index, const SimResults &r) override;
+    void flush() override;
+
+  private:
+    std::ostream &out_;
+};
+
+/**
+ * Flat CSV: an "index" column, identity columns, every CoreStats
+ * counter, and the headline doubles in round-trippable "%.17g" form.
+ * The header row is emitted before the first record.
+ */
+class CsvResultsSink : public ResultsSink
+{
+  public:
+    explicit CsvResultsSink(std::ostream &out) : out_(out) {}
+
+    void write(std::uint64_t index, const SimResults &r) override;
+    void flush() override;
+
+    /** The header row (no trailing newline). */
+    static std::string header();
+
+    /** One record as a CSV row (no trailing newline). */
+    static std::string row(std::uint64_t index, const SimResults &r);
+
+  private:
+    std::ostream &out_;
+    bool wroteHeader_ = false;
+};
+
+/**
+ * Forwards every record to an inner sink, then hands it to
+ * onResult() -- the base for fold-as-you-stream consumers that derive
+ * small summaries (metric tables, calibration accumulators) while the
+ * full results go to disk. Engine ordering guarantees carry over to
+ * onResult unchanged.
+ */
+class TeeSink : public ResultsSink
+{
+  public:
+    explicit TeeSink(ResultsSink &inner) : inner_(inner) {}
+
+    void
+    write(std::uint64_t index, const SimResults &r) final
+    {
+        inner_.write(index, r);
+        onResult(index, r);
+    }
+
+    void flush() override { inner_.flush(); }
+
+  protected:
+    virtual void onResult(std::uint64_t index, const SimResults &r) = 0;
+
+  private:
+    ResultsSink &inner_;
+};
+
+/**
+ * Forwards to an inner sink with indices translated through a map --
+ * how a shard reports results under their global manifest indices
+ * while the engine numbers the shard's jobs 0..n-1.
+ */
+class IndexRemapSink : public ResultsSink
+{
+  public:
+    IndexRemapSink(ResultsSink &inner,
+                   std::vector<std::uint64_t> globalIndex)
+        : inner_(inner), globalIndex_(std::move(globalIndex))
+    {
+    }
+
+    void write(std::uint64_t index, const SimResults &r) override;
+    void flush() override;
+
+  private:
+    ResultsSink &inner_;
+    std::vector<std::uint64_t> globalIndex_;
+};
+
+/**
+ * Open a file-backed sink (the one place the --out/--format policy
+ * lives for the runner and the examples). @p format selects "jsonl"
+ * or "csv"; when empty, a ".csv" extension selects CSV and anything
+ * else JSONL. An empty path or "-" writes to stdout. The returned
+ * sink owns its stream. Fatals on an unopenable path or an unknown
+ * format.
+ */
+std::unique_ptr<ResultsSink> openSink(const std::string &path,
+                                      const std::string &format = "");
+
+} // namespace stsim
+
+#endif // STSIM_CORE_RESULTS_SINK_HH

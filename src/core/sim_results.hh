@@ -37,6 +37,8 @@ struct SimResults
     /// @{
     std::array<double, kNumPUnits> unitEnergyJ{};
     std::array<double, kNumPUnits> unitWastedJ{};
+    /** Mean per-unit activity factors (calibration diagnostics). */
+    std::array<double, kNumPUnits> unitActivity{};
     double wastedEnergyJ = 0.0; ///< total mis-speculation energy
     /// @}
 

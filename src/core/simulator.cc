@@ -170,6 +170,7 @@ Simulator::run()
         auto i = static_cast<std::size_t>(u);
         r.unitEnergyJ[i] = power_->unitEnergy(u);
         r.unitWastedJ[i] = power_->unitWastedEnergy(u);
+        r.unitActivity[i] = power_->meanActivity(u);
     }
     r.wastedEnergyJ = power_->wastedEnergy();
     r.condMissRate = bpred_->condMissRate();

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * stsim_runner: the out-of-process experiment engine CLI.
+ *
+ * A large benchmark x policy matrix runs as: one `manifest` emitting
+ * the fully-specified job list (JSONL, one SimJob per line), N `run
+ * --shard i/N` processes each executing its slice on its own RunPool
+ * and streaming indexed results to disk as jobs complete, and one
+ * `merge` restoring submission order. Because results carry their
+ * manifest index and every double is hex-float encoded, the merged
+ * stream is byte-identical to an in-process `dump` of the same
+ * manifest -- the equivalence CI checks on every PR.
+ *
+ * Subcommands:
+ *   manifest --suite NAME [--insts N] [--warmup N] [--depth D]
+ *            [--out FILE]
+ *   run      --manifest FILE [--shard I/N] [--jobs W]
+ *            [--format jsonl|csv] [--out FILE]
+ *   dump     --manifest FILE [--jobs W] [--format jsonl|csv]
+ *            [--out FILE]
+ *   merge    --out FILE [--expect N] SHARD...
+ *
+ * Sharding is by manifest index modulo N, so shard workloads stay
+ * balanced even when a suite orders jobs benchmark-major.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/job_serde.hh"
+#include "core/parallel_harness.hh"
+#include "core/results_sink.hh"
+#include "core/suites.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "stsim_runner: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  stsim_runner manifest --suite NAME [--insts N] "
+                 "[--warmup N] [--depth D] [--out FILE]\n"
+                 "  stsim_runner run --manifest FILE [--shard I/N] "
+                 "[--jobs W] [--format jsonl|csv] [--out FILE]\n"
+                 "  stsim_runner dump --manifest FILE [--jobs W] "
+                 "[--format jsonl|csv] [--out FILE]\n"
+                 "  stsim_runner merge --out FILE [--expect N] "
+                 "SHARD...\n");
+    std::exit(2);
+}
+
+/** Flag cursor: `need("--flag")` consumes and returns its value. */
+struct Args
+{
+    int argc;
+    char **argv;
+    int i = 2;
+
+    const char *
+    need(const char *flag)
+    {
+        if (i + 1 >= argc)
+            usage((std::string(flag) + " needs a value").c_str());
+        return argv[++i];
+    }
+};
+
+std::uint64_t
+parseU64(const char *s, const char *what)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0')
+        usage((std::string("bad ") + what + " '" + s + "'").c_str());
+    return v;
+}
+
+/** Output stream selection: --out FILE or stdout. */
+class OutFile
+{
+  public:
+    explicit OutFile(const std::string &path)
+    {
+        if (path.empty() || path == "-")
+            return;
+        file_.open(path);
+        if (!file_)
+            stsim_fatal("cannot open '%s' for writing", path.c_str());
+    }
+
+    std::ostream &stream() { return file_.is_open() ? file_ : std::cout; }
+
+  private:
+    std::ofstream file_;
+};
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        stsim_fatal("cannot read '%s'", path.c_str());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+int
+cmdManifest(Args &a)
+{
+    std::string suite, out_path;
+    std::uint64_t insts = 0, warmup = 0, depth = 0;
+    for (; a.i < a.argc; ++a.i) {
+        if (!std::strcmp(a.argv[a.i], "--suite"))
+            suite = a.need("--suite");
+        else if (!std::strcmp(a.argv[a.i], "--insts"))
+            insts = parseU64(a.need("--insts"), "--insts");
+        else if (!std::strcmp(a.argv[a.i], "--warmup"))
+            warmup = parseU64(a.need("--warmup"), "--warmup");
+        else if (!std::strcmp(a.argv[a.i], "--depth"))
+            depth = parseU64(a.need("--depth"), "--depth");
+        else if (!std::strcmp(a.argv[a.i], "--out"))
+            out_path = a.need("--out");
+        else
+            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
+    }
+    if (suite.empty())
+        usage("manifest needs --suite");
+
+    std::vector<SimJob> jobs = suiteJobs(suite);
+    for (SimJob &j : jobs) {
+        if (insts)
+            j.cfg.maxInstructions = insts;
+        if (warmup)
+            j.cfg.warmupInstructions = warmup;
+        if (depth)
+            j.cfg.pipelineDepth = static_cast<unsigned>(depth);
+    }
+
+    OutFile out(out_path);
+    for (const SimJob &j : jobs)
+        out.stream() << serde::toJson(j) << '\n';
+    out.stream().flush();
+    if (!out.stream())
+        stsim_fatal("manifest write failed (disk full?)");
+    std::fprintf(stderr, "stsim_runner: %zu jobs (suite %s)\n",
+                 jobs.size(), suite.c_str());
+    return 0;
+}
+
+int
+cmdRunOrDump(Args &a, bool sharded)
+{
+    std::string manifest, out_path, format;
+    std::uint64_t shard = 0, shards = 1;
+    unsigned workers = 0;
+    for (; a.i < a.argc; ++a.i) {
+        if (!std::strcmp(a.argv[a.i], "--manifest"))
+            manifest = a.need("--manifest");
+        else if (sharded && !std::strcmp(a.argv[a.i], "--shard")) {
+            const char *spec = a.need("--shard");
+            unsigned long long i = 0, n = 0;
+            if (std::sscanf(spec, "%llu/%llu", &i, &n) != 2 || n == 0 ||
+                i >= n) {
+                usage("--shard wants I/N with 0 <= I < N");
+            }
+            shard = i;
+            shards = n;
+        } else if (!std::strcmp(a.argv[a.i], "--jobs"))
+            workers = static_cast<unsigned>(
+                parseU64(a.need("--jobs"), "--jobs"));
+        else if (!std::strcmp(a.argv[a.i], "--format"))
+            format = a.need("--format");
+        else if (!std::strcmp(a.argv[a.i], "--out"))
+            out_path = a.need("--out");
+        else
+            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
+    }
+    if (manifest.empty())
+        usage("--manifest is required");
+
+    std::vector<std::string> lines = readLines(manifest);
+    if (lines.empty())
+        stsim_fatal("manifest '%s' holds no jobs", manifest.c_str());
+    std::unique_ptr<ResultsSink> sink = openSink(out_path, format);
+
+    if (!sharded) {
+        // In-process reference path: the whole matrix through the
+        // vector API, then the same serializer. This is the byte-wise
+        // comparison target for a sharded merge.
+        std::vector<SimJob> all;
+        all.reserve(lines.size());
+        for (const std::string &line : lines)
+            all.push_back(serde::jobFromJson(line));
+        std::vector<SimResults> results = runJobs(all, workers);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            sink->write(i, results[i]);
+        sink->flush();
+        std::fprintf(stderr, "stsim_runner: dumped %zu results\n",
+                     results.size());
+        return 0;
+    }
+
+    // Parse only this shard's slice: a shard of a huge manifest must
+    // not pay the whole matrix's parse cost and job memory.
+    std::vector<SimJob> mine;
+    std::vector<std::uint64_t> globalIndex;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i % shards == shard) {
+            mine.push_back(serde::jobFromJson(lines[i]));
+            globalIndex.push_back(i);
+        }
+    }
+    IndexRemapSink remap(*sink, std::move(globalIndex));
+    StreamStats stats = runJobs(mine, remap, workers);
+    std::fprintf(stderr,
+                 "stsim_runner: shard %llu/%llu ran %zu of %zu jobs "
+                 "(max %zu results held for reorder)\n",
+                 static_cast<unsigned long long>(shard),
+                 static_cast<unsigned long long>(shards), mine.size(),
+                 lines.size(), stats.maxPending);
+    return 0;
+}
+
+int
+cmdMerge(Args &a)
+{
+    std::string out_path;
+    std::uint64_t expect = 0;
+    std::vector<std::string> inputs;
+    for (; a.i < a.argc; ++a.i) {
+        if (!std::strcmp(a.argv[a.i], "--out"))
+            out_path = a.need("--out");
+        else if (!std::strcmp(a.argv[a.i], "--expect"))
+            expect = parseU64(a.need("--expect"), "--expect");
+        else if (a.argv[a.i][0] == '-')
+            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
+        else
+            inputs.push_back(a.argv[a.i]);
+    }
+    if (inputs.empty())
+        usage("merge needs at least one shard file");
+
+    // Streaming k-way merge: each shard file is already
+    // index-ascending (the sink commits in submission order), so one
+    // line per open shard is all that is ever held — merge memory is
+    // O(shards), not O(matrix). Records pass through verbatim, so the
+    // merged bytes are the producing serializer's bytes.
+    struct Cursor
+    {
+        std::ifstream in;
+        std::string line;
+        std::uint64_t idx = 0;
+        bool live = false;
+    };
+    std::vector<Cursor> cursors(inputs.size());
+    auto advance = [&](std::size_t c) {
+        Cursor &cur = cursors[c];
+        const bool had = cur.live;
+        const std::uint64_t prev = cur.idx;
+        cur.live = false;
+        while (std::getline(cur.in, cur.line)) {
+            if (cur.line.empty())
+                continue;
+            std::uint64_t idx = serde::resultRecordIndex(cur.line);
+            if (had && idx <= prev) {
+                stsim_fatal("merge: '%s' is not index-ascending",
+                            inputs[c].c_str());
+            }
+            cur.idx = idx;
+            cur.live = true;
+            return;
+        }
+    };
+    for (std::size_t c = 0; c < inputs.size(); ++c) {
+        cursors[c].in.open(inputs[c]);
+        if (!cursors[c].in)
+            stsim_fatal("cannot read '%s'", inputs[c].c_str());
+        advance(c);
+    }
+
+    OutFile out(out_path);
+    std::uint64_t want = 0;
+    for (;;) {
+        std::size_t min_c = inputs.size();
+        for (std::size_t c = 0; c < cursors.size(); ++c) {
+            if (cursors[c].live &&
+                (min_c == inputs.size() ||
+                 cursors[c].idx < cursors[min_c].idx)) {
+                min_c = c;
+            }
+        }
+        if (min_c == inputs.size())
+            break;
+        if (cursors[min_c].idx < want)
+            stsim_fatal("merge: duplicate result index %llu",
+                        static_cast<unsigned long long>(
+                            cursors[min_c].idx));
+        if (cursors[min_c].idx > want)
+            stsim_fatal("merge: missing result index %llu",
+                        static_cast<unsigned long long>(want));
+        out.stream() << cursors[min_c].line << '\n';
+        ++want;
+        advance(min_c);
+    }
+    if (expect && want != expect) {
+        stsim_fatal("merge: expected %llu records, found %llu",
+                    static_cast<unsigned long long>(expect),
+                    static_cast<unsigned long long>(want));
+    }
+    if (want == 0)
+        stsim_fatal("merge: shard files hold no records");
+    out.stream().flush();
+    if (!out.stream())
+        stsim_fatal("merge: output write failed");
+    std::fprintf(stderr,
+                 "stsim_runner: merged %llu results from %zu "
+                 "shard files\n",
+                 static_cast<unsigned long long>(want), inputs.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    Args a{argc, argv};
+    const char *cmd = argv[1];
+    if (!std::strcmp(cmd, "manifest"))
+        return cmdManifest(a);
+    if (!std::strcmp(cmd, "run"))
+        return cmdRunOrDump(a, /*sharded=*/true);
+    if (!std::strcmp(cmd, "dump"))
+        return cmdRunOrDump(a, /*sharded=*/false);
+    if (!std::strcmp(cmd, "merge"))
+        return cmdMerge(a);
+    usage(("unknown subcommand '" + std::string(cmd) + "'").c_str());
+}

@@ -1,0 +1,91 @@
+#include "suites.hh"
+
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "core/harness.hh"
+
+namespace stsim
+{
+
+namespace
+{
+
+SimJob
+makeJob(const std::string &bench, const std::string &exp,
+        const SimConfig &base)
+{
+    SimJob j;
+    j.cfg = base;
+    j.cfg.benchmark = bench;
+    Experiment::byName(exp).applyTo(j.cfg);
+    j.experiment = exp;
+    return j;
+}
+
+std::vector<SimJob>
+goldenSuite()
+{
+    SimConfig base;
+    base.maxInstructions = 10'000;
+    base.warmupInstructions = 2'000;
+
+    std::vector<SimJob> jobs;
+    for (const char *bench : {"crafty", "go", "twolf", "parser"})
+        for (const char *exp : {"baseline", "A3", "C2", "PG"})
+            jobs.push_back(makeJob(bench, exp, base));
+
+    // Deep-pipeline rows: exercise the Figure 6 depth mapping through
+    // the manifest/serde path too.
+    SimConfig deep = base;
+    deep.pipelineDepth = 24;
+    jobs.push_back(makeJob("crafty", "C2", deep));
+    jobs.push_back(makeJob("go", "baseline", deep));
+    return jobs;
+}
+
+std::vector<SimJob>
+figureSuite(const std::vector<Experiment> &series)
+{
+    SimConfig base; // paper defaults: 2M measured commits
+    std::vector<SimJob> jobs;
+    for (const std::string &bench : Harness::benchmarks())
+        jobs.push_back(makeJob(bench, "baseline", base));
+    for (const Experiment &exp : series) {
+        for (const std::string &bench : Harness::benchmarks()) {
+            SimJob j;
+            j.cfg = base;
+            j.cfg.benchmark = bench;
+            exp.applyTo(j.cfg);
+            j.experiment = exp.name;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+std::vector<SimJob>
+suiteJobs(const std::string &name)
+{
+    if (name == "golden")
+        return goldenSuite();
+    if (name == "fig3")
+        return figureSuite(Experiment::figure3Series());
+    if (name == "fig4")
+        return figureSuite(Experiment::figure4Series());
+    if (name == "fig5")
+        return figureSuite(Experiment::figure5Series());
+    stsim_fatal("unknown suite '%s' (known: golden, fig3, fig4, fig5)",
+                name.c_str());
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {"golden", "fig3",
+                                                   "fig4", "fig5"};
+    return names;
+}
+
+} // namespace stsim

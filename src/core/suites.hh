@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Named job suites for the sharded runner and CI: fully-specified
+ * SimJob lists (manifest content) for the paper's figure sweeps and
+ * the pinned golden matrix the shard-equivalence gate runs.
+ */
+
+#ifndef STSIM_CORE_SUITES_HH
+#define STSIM_CORE_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/parallel_harness.hh"
+
+namespace stsim
+{
+
+/**
+ * Jobs of a named suite, in canonical submission order:
+ *
+ *  - "golden": the pinned CI matrix — {crafty, go, twolf, parser} x
+ *    {baseline, A3, C2, PG} at 10K measured / 2K warmup commits, plus
+ *    two 24-stage deep-pipeline jobs (crafty/C2, go/baseline). Small
+ *    enough to run on every PR, wide enough to cover every control
+ *    mechanism; changing it invalidates recorded shard outputs, so
+ *    treat its contents as pinned.
+ *  - "fig3" / "fig4" / "fig5": baseline plus the corresponding
+ *    experiment series over the full Table 2 suite at the paper's
+ *    2M-commit runs.
+ *
+ * Fatals on an unknown name.
+ */
+std::vector<SimJob> suiteJobs(const std::string &name);
+
+/** All known suite names. */
+const std::vector<std::string> &suiteNames();
+
+} // namespace stsim
+
+#endif // STSIM_CORE_SUITES_HH

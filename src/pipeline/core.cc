@@ -39,12 +39,10 @@ Core::Core(const CoreConfig &cfg, const Deps &deps)
     // grows whenever an insert would evict a live instruction's entry
     // (possible when repeated mispredict-squash-refetch waves run up
     // nextSeq_ while an old long-latency instruction is still in
-    // flight), so slotOf stays exact without a sizing proof.
-    std::size_t ring = 1;
-    while (ring < pool + 512)
-        ring <<= 1;
-    seqSlot_.assign(ring, 0);
-    seqSlotMask_ = ring - 1;
+    // flight), so slotOf stays exact without a sizing proof. Vacant
+    // cells hold slot 0: slotOf's validation against the slot's own
+    // seq rejects them.
+    seqSlot_.init(pool + 512, 0);
 
     fetchQ_.init(fetchQCap_ + 1);
     dispatchQ_.init(dispatchQCap_ + 1);
@@ -134,39 +132,6 @@ Core::growWbCal()
         }
         if (ok)
             return;
-    }
-}
-
-void
-Core::growSeqSlot()
-{
-    constexpr std::uint32_t kEmpty = 0xFFFF'FFFFu;
-    std::size_t n = seqSlot_.size();
-    for (;;) {
-        n <<= 1;
-        std::vector<std::uint32_t> fresh(n, kEmpty);
-        const InstSeq mask = n - 1;
-        bool ok = true;
-        for (std::uint32_t s = 0; s < slots_.size(); ++s) {
-            const InstSeq seq = slots_[s].seq;
-            if (seq == kInvalidSeq)
-                continue;
-            std::uint32_t &cell = fresh[seq & mask];
-            if (cell != kEmpty) {
-                ok = false; // two live seqs still collide
-                break;
-            }
-            cell = s;
-        }
-        if (!ok)
-            continue;
-        // Unused cells must stay safely indexable by slotOf.
-        for (std::uint32_t &cell : fresh)
-            if (cell == kEmpty)
-                cell = 0;
-        seqSlot_ = std::move(fresh);
-        seqSlotMask_ = mask;
-        return;
     }
 }
 

@@ -23,6 +23,7 @@
 #include "bpred/bpred_unit.hh"
 #include "cache/hierarchy.hh"
 #include "common/logging.hh"
+#include "common/seq_ring.hh"
 #include "common/types.hh"
 #include "confidence/dispatch.hh"
 #include "confidence/estimator.hh"
@@ -203,7 +204,7 @@ class Core
     std::optional<std::uint32_t>
     slotOf(InstSeq seq) const
     {
-        std::uint32_t s = seqSlot_[seq & seqSlotMask_];
+        std::uint32_t s = seqSlot_[seq];
         if (slots_[s].seq == seq)
             return s;
         return std::nullopt;
@@ -213,17 +214,16 @@ class Core
     void
     insertSeqSlot(InstSeq seq, std::uint32_t slot)
     {
-        std::uint32_t prev = seqSlot_[seq & seqSlotMask_];
-        const InstSeq prev_seq = slots_[prev].seq;
-        if (prev_seq != kInvalidSeq && prev_seq != seq &&
-            (prev_seq & seqSlotMask_) == (seq & seqSlotMask_)) {
-            growSeqSlot(); // would evict a live instruction: rebuild
-        }
-        seqSlot_[seq & seqSlotMask_] = slot;
+        seqSlot_.insert(
+            seq, slot,
+            [this](std::uint32_t s) { return slots_[s].seq; },
+            [this](auto &&fn) {
+                for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+                    if (slots_[s].seq != kInvalidSeq)
+                        fn(slots_[s].seq, s);
+                }
+            });
     }
-
-    /** Double the seq ring until every live seq has its own cell. */
-    void growSeqSlot();
     /// @}
 
     /// @name Ready tracking
@@ -285,12 +285,12 @@ class Core
     Cycle lastCommitCycle_ = 0;
     InstSeq nextSeq_ = 1;
 
-    // Slot pool. seqSlot_ maps seq & seqSlotMask_ -> slot index and is
-    // validated against DynInst::seq (see slotOf).
+    // Slot pool. seqSlot_ maps seq -> slot index through the shared
+    // grow-on-collision ring, validated against DynInst::seq (see
+    // slotOf).
     std::vector<DynInst> slots_;
     std::vector<std::uint32_t> freeSlots_;
-    std::vector<std::uint32_t> seqSlot_;
-    InstSeq seqSlotMask_ = 0;
+    SeqRing<std::uint32_t> seqSlot_;
     std::size_t inflightCount_ = 0;
 
     // Pipes and window (slot indices, oldest first).

@@ -30,14 +30,13 @@ SpeculationController::SpeculationController(const SpecControlConfig &cfg)
     // structures grow on demand so these are not correctness bounds.
     buf_.resize(256);
     bufMask_ = buf_.size() - 1;
-    posRing_.assign(2048, kInvalidPos);
-    posMask_ = posRing_.size() - 1;
+    posRing_.init(2048, kInvalidPos);
 }
 
 std::uint64_t
 SpeculationController::findLive(InstSeq seq) const
 {
-    std::uint64_t pos = posRing_[seq & posMask_];
+    std::uint64_t pos = posRing_[seq];
     if (pos >= head_ && pos < tail_) {
         const Tracked &t = at(pos);
         if (t.seq == seq && t.live)
@@ -49,37 +48,26 @@ SpeculationController::findLive(InstSeq seq) const
 void
 SpeculationController::indexSeq(InstSeq seq, std::uint64_t pos)
 {
-    std::uint64_t prev = posRing_[seq & posMask_];
-    if (prev != kInvalidPos && prev >= head_ && prev < tail_) {
-        const Tracked &t = at(prev);
-        if (t.live && t.seq != seq &&
-            (t.seq & posMask_) == (seq & posMask_)) {
-            growPosRing(); // would shadow a live entry: widen the ring
-        }
-    }
-    posRing_[seq & posMask_] = pos;
-}
-
-void
-SpeculationController::growPosRing()
-{
-    for (;;) {
-        posRing_.assign(posRing_.size() * 2, kInvalidPos);
-        posMask_ = posRing_.size() - 1;
-        bool ok = true;
-        for (std::uint64_t p = head_; p < tail_ && ok; ++p) {
-            const Tracked &t = at(p);
-            if (!t.live)
-                continue;
-            std::uint64_t &cell = posRing_[t.seq & posMask_];
-            if (cell != kInvalidPos)
-                ok = false; // two live seqs still collide
-            else
-                cell = p;
-        }
-        if (ok)
-            return;
-    }
+    // kInvalidPos (the vacant cell value) and any stale position both
+    // fail the [head_, tail_) / live checks, so only a genuinely live
+    // aliasing entry triggers growth.
+    posRing_.insert(
+        seq, pos,
+        [this](std::uint64_t p) {
+            if (p >= head_ && p < tail_) {
+                const Tracked &t = at(p);
+                if (t.live)
+                    return t.seq;
+            }
+            return kInvalidSeq;
+        },
+        [this](auto &&fn) {
+            for (std::uint64_t p = head_; p < tail_; ++p) {
+                const Tracked &t = at(p);
+                if (t.live)
+                    fn(t.seq, p);
+            }
+        });
 }
 
 void

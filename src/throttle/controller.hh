@@ -13,6 +13,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/seq_ring.hh"
 #include "common/types.hh"
 #include "confidence/estimator.hh"
 #include "throttle/policy.hh"
@@ -168,9 +169,6 @@ class SpeculationController
     /** Publish seq -> pos; grows the ring on a live collision. */
     void indexSeq(InstSeq seq, std::uint64_t pos);
 
-    /** Double posRing_ until every live seq has its own cell. */
-    void growPosRing();
-
 #ifndef NDEBUG
     /** Reference full-rescan recomputation, asserted equal. */
     void crossCheck() const;
@@ -188,10 +186,10 @@ class SpeculationController
     std::uint64_t head_ = 0;
     std::uint64_t tail_ = 0;
 
-    // seq & posMask_ -> position, validated against the entry's own
-    // seq (same exact-ring pattern as Core's seqSlot_).
-    std::vector<std::uint64_t> posRing_;
-    InstSeq posMask_ = 0;
+    // seq -> position through the shared grow-on-collision ring,
+    // validated against the entry's own seq (same exact-ring pattern
+    // as Core's seqSlot_).
+    SeqRing<std::uint64_t> posRing_;
 
     // Incremental state.
     unsigned levelCount_[kNumLevels] = {0, 0, 0, 0};

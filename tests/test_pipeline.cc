@@ -319,6 +319,60 @@ TEST(GoldenDeterminism, C2BenchConfigIsBitExact)
     EXPECT_EQ(r.avgPowerW, 0x1.845612c9936f5p+5);
 }
 
+/**
+ * Second-benchmark pin (go instead of crafty): the golden matrix must
+ * not be blind to workload-dependent scheduling paths -- go has a much
+ * higher misprediction rate, so squash/refetch waves and controller
+ * churn dominate differently than in crafty.
+ */
+TEST(GoldenDeterminism, GoC2BenchConfigIsBitExact)
+{
+    SimConfig cfg = benchConfig("C2");
+    cfg.benchmark = "go";
+    SimResults r = Simulator(cfg).run();
+    EXPECT_EQ(r.core.cycles, 90200u);
+    EXPECT_EQ(r.core.committedInsts, 50000u);
+    EXPECT_EQ(r.core.fetchedInsts, 81297u);
+    EXPECT_EQ(r.core.fetchedWrongPath, 31329u);
+    EXPECT_EQ(r.core.issuedInsts, 51692u);
+    EXPECT_EQ(r.core.issuedWrongPath, 1697u);
+    EXPECT_EQ(r.core.noSelectSkips, 37122u);
+    EXPECT_EQ(r.core.fetchThrottled, 39883u);
+    EXPECT_EQ(r.core.decodeThrottled, 0u);
+    EXPECT_EQ(r.core.loadsBlockedByStore, 4638u);
+    EXPECT_EQ(r.ipc, 0x1.1bd051bd051bdp-1);
+    EXPECT_EQ(r.energyJ, 0x1.7aca4af7c9569p-9);
+    EXPECT_EQ(r.wastedEnergyJ, 0x1.3462e1af15c34p-12);
+    EXPECT_EQ(r.avgPowerW, 0x1.3393a63b12cc7p+5);
+}
+
+/**
+ * Deep-pipeline pin (24 stages, the upper half of the Figure 6
+ * sweep): covers the longer in-order front end, the extra exec/DL1
+ * latency mapping and the correspondingly longer throttle windows.
+ */
+TEST(GoldenDeterminism, DeepPipelineC2BenchConfigIsBitExact)
+{
+    SimConfig cfg = benchConfig("C2");
+    cfg.pipelineDepth = 24;
+    SimResults r = Simulator(cfg).run();
+    EXPECT_EQ(r.core.cycles, 86982u);
+    EXPECT_EQ(r.core.committedInsts, 50001u);
+    EXPECT_EQ(r.core.fetchedInsts, 85424u);
+    EXPECT_EQ(r.core.fetchedWrongPath, 35323u);
+    EXPECT_EQ(r.core.issuedInsts, 51748u);
+    EXPECT_EQ(r.core.issuedWrongPath, 1737u);
+    EXPECT_EQ(r.core.noSelectSkips, 26860u);
+    EXPECT_EQ(r.core.fetchThrottled, 33298u);
+    EXPECT_EQ(r.core.decodeThrottled, 0u);
+    EXPECT_EQ(r.core.loadsBlockedByStore, 6034u);
+    EXPECT_EQ(r.core.squashes, 321u);
+    EXPECT_EQ(r.ipc, 0x1.2651d4bc62652p-1);
+    EXPECT_EQ(r.energyJ, 0x1.6f5e00ba555ccp-9);
+    EXPECT_EQ(r.wastedEnergyJ, 0x1.290516ae51f81p-12);
+    EXPECT_EQ(r.avgPowerW, 0x1.355659740e186p+5);
+}
+
 /** Deadlock-freedom sweep: every experiment on every benchmark must
  *  retire its instruction budget (the core's watchdog panics on any
  *  stall longer than 100K cycles). */
