@@ -32,7 +32,8 @@ for p in "${pids[@]}"; do
     wait "$p"
 done
 
-"$RUNNER" merge --out "$TMP/merged.jsonl" --expect "$total" \
+# The manifest itself is the authority on the expected record count.
+"$RUNNER" merge --out "$TMP/merged.jsonl" --manifest "$TMP/manifest.jsonl" \
     "$TMP"/shard0.jsonl "$TMP"/shard1.jsonl \
     "$TMP"/shard2.jsonl "$TMP"/shard3.jsonl
 "$RUNNER" dump --manifest "$TMP/manifest.jsonl" --out "$TMP/direct.jsonl"

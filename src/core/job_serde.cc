@@ -975,6 +975,156 @@ resultsFromJVal(const JVal &v)
 
 } // namespace
 
+FlatWriter &
+FlatWriter::str(const char *k, std::string_view value)
+{
+    key(k);
+    Obj::appendQuoted(out_, std::string(value));
+    return *this;
+}
+
+FlatWriter &
+FlatWriter::u64(const char *k, std::uint64_t value)
+{
+    key(k);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out_ += buf;
+    return *this;
+}
+
+std::string
+FlatWriter::finish()
+{
+    out_ += '}';
+    return std::move(out_);
+}
+
+void
+FlatWriter::key(const char *k)
+{
+    if (!first_)
+        out_ += ',';
+    first_ = false;
+    out_ += '"';
+    out_ += k;
+    out_ += "\":";
+}
+
+namespace
+{
+
+/** Non-fatal scanner over one flat record; never touches stsim_fatal. */
+class FlatScanner
+{
+  public:
+    explicit FlatScanner(std::string_view s) : s_(s) {}
+
+    bool
+    scan(std::vector<FlatField> &out)
+    {
+        out.clear();
+        if (!eat('{'))
+            return false;
+        if (eat('}'))
+            return done();
+        for (;;) {
+            FlatField f;
+            if (!string(f.key))
+                return false;
+            if (!eat(':'))
+                return false;
+            if (peek() == '"') {
+                f.isString = true;
+                if (!string(f.value))
+                    return false;
+            } else if (!integer(f.value)) {
+                return false;
+            }
+            out.push_back(std::move(f));
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return done();
+            return false;
+        }
+    }
+
+  private:
+    bool
+    done()
+    {
+        return pos_ == s_.size();
+    }
+
+    char
+    peek()
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    bool
+    eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (!eat('"'))
+            return false;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                char e = s_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  default: return false;
+                }
+                continue;
+            }
+            out += c;
+        }
+        return false;
+    }
+
+    bool
+    integer(std::string &out)
+    {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9')
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        out.assign(s_.substr(start, pos_ - start));
+        return true;
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+tryParseFlat(std::string_view json, std::vector<FlatField> &out)
+{
+    return FlatScanner(json).scan(out);
+}
+
 std::string
 doubleToHex(double d)
 {

@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/parallel_harness.hh"
 #include "core/sim_config.hh"
@@ -61,6 +62,47 @@ resultRecordFromJson(std::string_view json);
 
 /** The submission index of a result-stream record (cheap field pick). */
 std::uint64_t resultRecordIndex(std::string_view json);
+
+/**
+ * Writer for flat single-line JSON records (string / unsigned-integer
+ * fields, no nesting) -- the dispatch journal's record shape. Shares
+ * the main serializer's byte conventions (insertion-ordered fields,
+ * identical string escaping), so journal lines are parseable by the
+ * same strict reader as every other on-disk format here.
+ */
+class FlatWriter
+{
+  public:
+    FlatWriter() : out_("{") {}
+
+    FlatWriter &str(const char *key, std::string_view value);
+    FlatWriter &u64(const char *key, std::uint64_t value);
+
+    /** Close the object and take the line. The writer is spent. */
+    std::string finish();
+
+  private:
+    void key(const char *k);
+
+    std::string out_;
+    bool first_ = true;
+};
+
+/** One parsed field of a flat record. */
+struct FlatField
+{
+    std::string key;
+    std::string value;     ///< decoded string, or raw integer token
+    bool isString = false;
+};
+
+/**
+ * Parse a flat single-line JSON record (the FlatWriter shape) without
+ * fataling: returns false on malformed input. Journal replay uses
+ * this to drop a torn trailing line after a dispatcher crash instead
+ * of refusing to resume.
+ */
+bool tryParseFlat(std::string_view json, std::vector<FlatField> &out);
 
 /** Bit-exact hex-float encoding of a double ("%a"). */
 std::string doubleToHex(double d);

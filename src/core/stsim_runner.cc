@@ -18,12 +18,21 @@
  *            [--format jsonl|csv] [--out FILE]
  *   dump     --manifest FILE [--jobs W] [--format jsonl|csv]
  *            [--out FILE]
- *   merge    --out FILE [--expect N] SHARD...
+ *   merge    --out FILE (--manifest FILE | --expect N) [--allow-dups]
+ *            SHARD...
+ *   dispatch --manifest FILE --dir DIR [--shards N] ...
+ *   resume   --dir DIR ...
+ *   help | --help | -h
  *
  * Sharding is by manifest index modulo N, so shard workloads stay
- * balanced even when a suite orders jobs benchmark-major.
+ * balanced even when a suite orders jobs benchmark-major. dispatch /
+ * resume drive the fault-tolerant scheduler in src/dist/: shard
+ * workers are subprocesses tracked through a crash-safe journal,
+ * failed or straggling shards retry, and a SIGKILLed dispatcher picks
+ * up exactly where the journal ends via resume.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +41,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -39,27 +49,54 @@
 #include "core/parallel_harness.hh"
 #include "core/results_sink.hh"
 #include "core/suites.hh"
+#include "dist/host_launcher.hh"
+#include "dist/shard_scheduler.hh"
 
 using namespace stsim;
 
 namespace
 {
 
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage:\n"
+        "  stsim_runner manifest --suite NAME [--insts N] "
+        "[--warmup N] [--depth D] [--out FILE]\n"
+        "  stsim_runner run --manifest FILE [--shard I/N] "
+        "[--jobs W] [--format jsonl|csv] [--out FILE]\n"
+        "  stsim_runner dump --manifest FILE [--jobs W] "
+        "[--format jsonl|csv] [--out FILE]\n"
+        "  stsim_runner merge --out FILE (--manifest FILE | "
+        "--expect N) [--allow-dups] SHARD...\n"
+        "  stsim_runner dispatch --manifest FILE --dir DIR "
+        "[--shards N] [--jobs W] [--max-attempts K]\n"
+        "               [--concurrent C] [--timeout-sec S] "
+        "[--runner PATH]\n"
+        "  stsim_runner resume --dir DIR [--jobs W] "
+        "[--max-attempts K] [--concurrent C]\n"
+        "               [--timeout-sec S] [--runner PATH]\n"
+        "  stsim_runner help\n"
+        "\n"
+        "merge derives the expected record count from --manifest "
+        "(--expect overrides it);\n"
+        "--allow-dups keeps the first record per index and verifies "
+        "re-run shards produced\n"
+        "byte-identical lines. dispatch runs shards as local "
+        "subprocesses behind a crash-safe\n"
+        "journal (DIR/journal.jsonl); after any crash, resume "
+        "re-launches only unfinished\n"
+        "shards. Completed shard files are immutable "
+        "(exclusive-rename finalize).\n");
+}
+
 [[noreturn]] void
 usage(const char *msg = nullptr)
 {
     if (msg)
         std::fprintf(stderr, "stsim_runner: %s\n", msg);
-    std::fprintf(stderr,
-                 "usage:\n"
-                 "  stsim_runner manifest --suite NAME [--insts N] "
-                 "[--warmup N] [--depth D] [--out FILE]\n"
-                 "  stsim_runner run --manifest FILE [--shard I/N] "
-                 "[--jobs W] [--format jsonl|csv] [--out FILE]\n"
-                 "  stsim_runner dump --manifest FILE [--jobs W] "
-                 "[--format jsonl|csv] [--out FILE]\n"
-                 "  stsim_runner merge --out FILE [--expect N] "
-                 "SHARD...\n");
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -106,6 +143,39 @@ class OutFile
 
   private:
     std::ofstream file_;
+};
+
+/**
+ * Fault-injection sink for the dispatch gate (dist::kTestHangEnv):
+ * commits and flushes the first record, then stalls so the test
+ * harness can SIGKILL a worker that is deterministically mid-shard.
+ */
+class HangAfterFirstRecordSink : public ResultsSink
+{
+  public:
+    explicit HangAfterFirstRecordSink(ResultsSink &inner)
+        : inner_(inner)
+    {
+    }
+
+    void
+    write(std::uint64_t index, const SimResults &r) override
+    {
+        inner_.write(index, r);
+        if (hung_)
+            return;
+        hung_ = true;
+        inner_.flush(); // the record must be visible to the killer
+        for (int i = 0; i < 1200; ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        stsim_fatal("test hang expired without a SIGKILL");
+    }
+
+    void flush() override { inner_.flush(); }
+
+  private:
+    ResultsSink &inner_;
+    bool hung_ = false;
 };
 
 std::vector<std::string>
@@ -229,7 +299,13 @@ cmdRunOrDump(Args &a, bool sharded)
             globalIndex.push_back(i);
         }
     }
-    IndexRemapSink remap(*sink, std::move(globalIndex));
+    ResultsSink *commit = sink.get();
+    std::unique_ptr<HangAfterFirstRecordSink> hang;
+    if (std::getenv(dist::kTestHangEnv)) {
+        hang = std::make_unique<HangAfterFirstRecordSink>(*commit);
+        commit = hang.get();
+    }
+    IndexRemapSink remap(*commit, std::move(globalIndex));
     StreamStats stats = runJobs(mine, remap, workers);
     std::fprintf(stderr,
                  "stsim_runner: shard %llu/%llu ran %zu of %zu jobs "
@@ -243,14 +319,19 @@ cmdRunOrDump(Args &a, bool sharded)
 int
 cmdMerge(Args &a)
 {
-    std::string out_path;
+    std::string out_path, manifest;
     std::uint64_t expect = 0;
+    bool allowDups = false;
     std::vector<std::string> inputs;
     for (; a.i < a.argc; ++a.i) {
         if (!std::strcmp(a.argv[a.i], "--out"))
             out_path = a.need("--out");
         else if (!std::strcmp(a.argv[a.i], "--expect"))
             expect = parseU64(a.need("--expect"), "--expect");
+        else if (!std::strcmp(a.argv[a.i], "--manifest"))
+            manifest = a.need("--manifest");
+        else if (!std::strcmp(a.argv[a.i], "--allow-dups"))
+            allowDups = true;
         else if (a.argv[a.i][0] == '-')
             usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
         else
@@ -258,6 +339,22 @@ cmdMerge(Args &a)
     }
     if (inputs.empty())
         usage("merge needs at least one shard file");
+    if (!expect && manifest.empty()) {
+        // Without a completeness target, a stream truncated at the
+        // tail would merge "cleanly" -- refuse to pretend.
+        usage("merge needs --manifest (or --expect) to know the "
+              "expected record count");
+    }
+
+    // The manifest is the authority on what a complete merge holds:
+    // records are indexed 0..jobs-1, so its line count IS the
+    // expected index set. --expect stays as an explicit override.
+    if (!expect) {
+        expect = dist::countRecords(manifest);
+        if (!expect)
+            stsim_fatal("merge: manifest '%s' holds no jobs",
+                        manifest.c_str());
+    }
 
     // Streaming k-way merge: each shard file is already
     // index-ascending (the sink commits in submission order), so one
@@ -299,6 +396,8 @@ cmdMerge(Args &a)
 
     OutFile out(out_path);
     std::uint64_t want = 0;
+    std::uint64_t dupsDropped = 0;
+    std::string lastEmitted;
     for (;;) {
         std::size_t min_c = inputs.size();
         for (std::size_t c = 0; c < cursors.size(); ++c) {
@@ -310,14 +409,36 @@ cmdMerge(Args &a)
         }
         if (min_c == inputs.size())
             break;
-        if (cursors[min_c].idx < want)
-            stsim_fatal("merge: duplicate result index %llu",
-                        static_cast<unsigned long long>(
-                            cursors[min_c].idx));
+        if (cursors[min_c].idx < want) {
+            if (!allowDups) {
+                stsim_fatal("merge: duplicate result index %llu "
+                            "(re-run shards need --allow-dups)",
+                            static_cast<unsigned long long>(
+                                cursors[min_c].idx));
+            }
+            // Dup-tolerant path for re-run shards: because every
+            // cursor is primed before the loop and each file is
+            // strictly index-ascending, a duplicate can only be a
+            // copy of the record emitted immediately before -- so a
+            // single held line suffices to verify the re-run is
+            // byte-identical before the copy is discarded.
+            if (cursors[min_c].idx != want - 1 ||
+                cursors[min_c].line != lastEmitted) {
+                stsim_fatal("merge: duplicate records for index %llu "
+                            "are not byte-identical (shard re-run "
+                            "was not deterministic?)",
+                            static_cast<unsigned long long>(
+                                cursors[min_c].idx));
+            }
+            ++dupsDropped;
+            advance(min_c);
+            continue;
+        }
         if (cursors[min_c].idx > want)
             stsim_fatal("merge: missing result index %llu",
                         static_cast<unsigned long long>(want));
-        out.stream() << cursors[min_c].line << '\n';
+        lastEmitted = cursors[min_c].line;
+        out.stream() << lastEmitted << '\n';
         ++want;
         advance(min_c);
     }
@@ -333,9 +454,61 @@ cmdMerge(Args &a)
         stsim_fatal("merge: output write failed");
     std::fprintf(stderr,
                  "stsim_runner: merged %llu results from %zu "
-                 "shard files\n",
-                 static_cast<unsigned long long>(want), inputs.size());
+                 "shard files (%llu duplicate record(s) verified "
+                 "and dropped)\n",
+                 static_cast<unsigned long long>(want), inputs.size(),
+                 static_cast<unsigned long long>(dupsDropped));
     return 0;
+}
+
+int
+cmdDispatchOrResume(Args &a, bool isResume)
+{
+    dist::DispatchOptions opts;
+    std::string runner;
+    for (; a.i < a.argc; ++a.i) {
+        if (!isResume && !std::strcmp(a.argv[a.i], "--manifest"))
+            opts.manifest = a.need("--manifest");
+        else if (!std::strcmp(a.argv[a.i], "--dir"))
+            opts.dir = a.need("--dir");
+        else if (!isResume && !std::strcmp(a.argv[a.i], "--shards"))
+            opts.shards = parseU64(a.need("--shards"), "--shards");
+        else if (!std::strcmp(a.argv[a.i], "--jobs"))
+            opts.workersPerShard = static_cast<unsigned>(
+                parseU64(a.need("--jobs"), "--jobs"));
+        else if (!std::strcmp(a.argv[a.i], "--max-attempts"))
+            opts.maxAttempts = static_cast<unsigned>(
+                parseU64(a.need("--max-attempts"), "--max-attempts"));
+        else if (!std::strcmp(a.argv[a.i], "--concurrent"))
+            opts.maxConcurrent = static_cast<unsigned>(
+                parseU64(a.need("--concurrent"), "--concurrent"));
+        else if (!std::strcmp(a.argv[a.i], "--timeout-sec"))
+            opts.shardTimeout = std::chrono::seconds(
+                parseU64(a.need("--timeout-sec"), "--timeout-sec"));
+        else if (!std::strcmp(a.argv[a.i], "--runner"))
+            runner = a.need("--runner");
+        else if (!isResume &&
+                 !std::strcmp(a.argv[a.i], "--test-kill-shard"))
+            opts.testKillShard = parseU64(a.need("--test-kill-shard"),
+                                          "--test-kill-shard");
+        else if (!isResume &&
+                 !std::strcmp(a.argv[a.i], "--test-die-after-kill"))
+            opts.testDieAfterKill = true;
+        else
+            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
+    }
+    if (opts.dir.empty())
+        usage("--dir is required");
+    if (!isResume && opts.manifest.empty())
+        usage("--manifest is required");
+    if (opts.maxAttempts == 0)
+        usage("--max-attempts must be positive");
+
+    if (runner.empty())
+        runner = dist::LocalProcessLauncher::selfExecutable();
+    dist::LocalProcessLauncher launcher(runner);
+    dist::ShardScheduler sched(std::move(opts), launcher);
+    return isResume ? sched.resume() : sched.dispatch();
 }
 
 } // namespace
@@ -347,6 +520,11 @@ main(int argc, char **argv)
         usage();
     Args a{argc, argv};
     const char *cmd = argv[1];
+    if (!std::strcmp(cmd, "help") || !std::strcmp(cmd, "--help") ||
+        !std::strcmp(cmd, "-h")) {
+        printUsage(stdout);
+        return 0;
+    }
     if (!std::strcmp(cmd, "manifest"))
         return cmdManifest(a);
     if (!std::strcmp(cmd, "run"))
@@ -355,5 +533,9 @@ main(int argc, char **argv)
         return cmdRunOrDump(a, /*sharded=*/false);
     if (!std::strcmp(cmd, "merge"))
         return cmdMerge(a);
+    if (!std::strcmp(cmd, "dispatch"))
+        return cmdDispatchOrResume(a, /*isResume=*/false);
+    if (!std::strcmp(cmd, "resume"))
+        return cmdDispatchOrResume(a, /*isResume=*/true);
     usage(("unknown subcommand '" + std::string(cmd) + "'").c_str());
 }

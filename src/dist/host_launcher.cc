@@ -1,0 +1,138 @@
+#include "host_launcher.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+namespace dist
+{
+
+HostLauncher::~HostLauncher() = default;
+
+LocalProcessLauncher::LocalProcessLauncher(std::string runnerPath)
+    : runner_(std::move(runnerPath))
+{
+    if (::access(runner_.c_str(), X_OK) != 0) {
+        stsim_fatal("launcher: '%s' is not an executable runner (%s)",
+                    runner_.c_str(), std::strerror(errno));
+    }
+}
+
+std::string
+LocalProcessLauncher::selfExecutable()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0) {
+        stsim_fatal("launcher: cannot resolve /proc/self/exe (%s); "
+                    "pass --runner PATH",
+                    std::strerror(errno));
+    }
+    buf[n] = '\0';
+    return buf;
+}
+
+void
+LocalProcessLauncher::launch(const ShardTask &task)
+{
+    stsim_assert(!pids_.count(task.shard),
+                 "launcher: shard %" PRIu64 " already running",
+                 task.shard);
+
+    char shardSpec[48];
+    std::snprintf(shardSpec, sizeof shardSpec,
+                  "%" PRIu64 "/%" PRIu64, task.shard, task.shards);
+    char jobsSpec[24];
+    std::snprintf(jobsSpec, sizeof jobsSpec, "%u", task.workers);
+
+    std::vector<const char *> argv = {
+        runner_.c_str(),  "run",
+        "--manifest",     task.manifest.c_str(),
+        "--shard",        shardSpec,
+        "--out",          task.outPath.c_str(),
+    };
+    if (task.workers) {
+        argv.push_back("--jobs");
+        argv.push_back(jobsSpec);
+    }
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        stsim_fatal("launcher: fork failed (%s)", std::strerror(errno));
+    if (pid == 0) {
+        // Child. The dispatcher is single-threaded, so mutating the
+        // environment between fork and exec is safe.
+        if (task.testHangAfterFirstRecord)
+            ::setenv(kTestHangEnv, "1", 1);
+        ::execv(runner_.c_str(),
+                const_cast<char *const *>(argv.data()));
+        std::fprintf(stderr, "launcher: exec '%s' failed: %s\n",
+                     runner_.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+    pids_.emplace(task.shard, pid);
+}
+
+std::optional<ShardExit>
+LocalProcessLauncher::waitAny(std::chrono::milliseconds timeout)
+{
+    stsim_assert(!pids_.empty(), "launcher: waitAny with none running");
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+        for (auto it = pids_.begin(); it != pids_.end(); ++it) {
+            int status = 0;
+            pid_t r = ::waitpid(it->second, &status, WNOHANG);
+            if (r == 0)
+                continue;
+            if (r < 0) {
+                stsim_fatal("launcher: waitpid(%d) failed (%s)",
+                            static_cast<int>(it->second),
+                            std::strerror(errno));
+            }
+            ShardExit ex;
+            ex.shard = it->first;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                ex.success = true;
+            } else if (WIFEXITED(status)) {
+                ex.reason = "exit " +
+                            std::to_string(WEXITSTATUS(status));
+            } else if (WIFSIGNALED(status)) {
+                ex.reason = "signal " +
+                            std::to_string(WTERMSIG(status));
+            } else {
+                ex.reason = "status " + std::to_string(status);
+            }
+            pids_.erase(it);
+            return ex;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+void
+LocalProcessLauncher::kill(std::uint64_t shard)
+{
+    auto it = pids_.find(shard);
+    if (it == pids_.end())
+        return; // already reaped: the kill raced a normal exit
+    ::kill(it->second, SIGKILL);
+    // The exit is reported through waitAny like any other death, so
+    // the scheduler journals exactly one terminal record per attempt.
+}
+
+} // namespace dist
+} // namespace stsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Execution substrate for the distributed dispatch subsystem: a
+ * HostLauncher starts one `stsim_runner run --shard i/N` worker per
+ * shard and reports their exits. The scheduler only ever talks to
+ * this interface, so moving shards off-machine (ssh, a job queue) is
+ * a launcher swap, not a scheduler rewrite. LocalProcessLauncher is
+ * the in-tree implementation: fork/exec of the runner binary itself.
+ */
+
+#ifndef STSIM_DIST_HOST_LAUNCHER_HH
+#define STSIM_DIST_HOST_LAUNCHER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace stsim
+{
+namespace dist
+{
+
+/**
+ * Fault-injection hook honored by `stsim_runner run`: after streaming
+ * (and flushing) its first result record, the worker stalls until it
+ * is killed. Lets tests SIGKILL a worker that is deterministically
+ * mid-shard -- some output committed, more outstanding.
+ */
+inline constexpr const char *kTestHangEnv =
+    "STSIM_TEST_HANG_AFTER_FIRST_RECORD";
+
+/** One shard's worth of work, fully specified. */
+struct ShardTask
+{
+    std::uint64_t shard = 0;    ///< this shard's index
+    std::uint64_t shards = 1;   ///< total shard count (the N in i/N)
+    std::string manifest;       ///< manifest path, readable by the host
+    std::string outPath;        ///< where the worker streams its records
+    unsigned workers = 0;       ///< worker threads (0 = runner default)
+    bool testHangAfterFirstRecord = false; ///< sets kTestHangEnv
+};
+
+/** Terminal report for one launched shard. */
+struct ShardExit
+{
+    std::uint64_t shard = 0;
+    bool success = false;
+    std::string reason; ///< "exit N" / "signal N" when !success
+};
+
+/**
+ * Starts shard workers and reports their exits. Implementations are
+ * driven from a single scheduler thread; no locking is required. At
+ * most one worker per shard index is in flight at a time.
+ */
+class HostLauncher
+{
+  public:
+    virtual ~HostLauncher();
+
+    /** Start the worker for @p task; returns once it is running. */
+    virtual void launch(const ShardTask &task) = 0;
+
+    /**
+     * Block up to @p timeout for any launched worker to finish.
+     * Returns std::nullopt on timeout. Must not be called with no
+     * workers running.
+     */
+    virtual std::optional<ShardExit>
+    waitAny(std::chrono::milliseconds timeout) = 0;
+
+    /** Forcibly terminate a running shard (straggler replacement). */
+    virtual void kill(std::uint64_t shard) = 0;
+
+    /** Number of launched-but-unreported workers. */
+    virtual std::size_t running() const = 0;
+};
+
+/**
+ * Runs each shard as a local `stsim_runner run --manifest M --shard
+ * i/N --out TMP` subprocess. Workers inherit stderr, so their status
+ * lines interleave with the dispatcher's.
+ */
+class LocalProcessLauncher : public HostLauncher
+{
+  public:
+    /** @p runnerPath is the stsim_runner binary to exec. */
+    explicit LocalProcessLauncher(std::string runnerPath);
+
+    void launch(const ShardTask &task) override;
+    std::optional<ShardExit>
+    waitAny(std::chrono::milliseconds timeout) override;
+    void kill(std::uint64_t shard) override;
+    std::size_t running() const override { return pids_.size(); }
+
+    /**
+     * Path of the currently executing binary (/proc/self/exe) -- the
+     * default runner for a dispatcher that is itself stsim_runner.
+     */
+    static std::string selfExecutable();
+
+  private:
+    std::string runner_;
+    std::map<std::uint64_t, pid_t> pids_; ///< shard -> live worker
+};
+
+} // namespace dist
+} // namespace stsim
+
+#endif // STSIM_DIST_HOST_LAUNCHER_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for the distributed dispatcher: an
+ * append-only JSONL file (one flat serde record per line, fsynced per
+ * append) recording the dispatch plan and every per-shard attempt
+ * transition. `resume` replays it to learn which shards are already
+ * done and how many attempts the rest have burned -- after the
+ * dispatcher itself is SIGKILLed, nothing else survives.
+ *
+ * Record shapes (field order fixed):
+ *   {"type":"plan","manifest":M,"manifestHash":H,"shards":N,
+ *    "jobs":J,"workers":W,"maxAttempts":K,"maxConcurrent":C,
+ *    "timeoutMs":T}
+ *   {"type":"launch","shard":i,"attempt":k,"tmp":"shard-i.attempt-k.part"}
+ *   {"type":"done","shard":i,"attempt":k,"out":"shard-i.jsonl"}
+ *   {"type":"fail","shard":i,"attempt":k,"reason":"signal 9"}
+ *
+ * A "launch" with no matching terminal record means the dispatcher
+ * died while that attempt ran: replay treats the attempt as presumed
+ * dead (the shard is relaunched) without counting it as a failure.
+ * Replay tolerates a torn final line -- the one write a crash can cut
+ * mid-buffer -- and refuses anything else malformed.
+ */
+
+#ifndef STSIM_DIST_JOURNAL_HH
+#define STSIM_DIST_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stsim
+{
+namespace dist
+{
+
+/** Replayed view of one shard's history. */
+struct ShardJournalState
+{
+    unsigned launches = 0; ///< highest attempt number started
+    unsigned failures = 0; ///< attempts with an observed terminal failure
+    bool done = false;
+    std::string out;       ///< final output basename once done
+};
+
+/** Replayed view of a whole journal. */
+struct JournalState
+{
+    std::string manifest;
+    std::uint64_t manifestHash = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t jobs = 0;
+    unsigned workers = 0;
+    unsigned maxAttempts = 3;
+    unsigned maxConcurrent = 0;
+    std::uint64_t timeoutMs = 0;
+    std::vector<ShardJournalState> shard; ///< size == shards
+
+    std::size_t
+    doneCount() const
+    {
+        std::size_t n = 0;
+        for (const ShardJournalState &s : shard)
+            n += s.done;
+        return n;
+    }
+};
+
+/**
+ * Append handle on a journal file. Every append is a single write()
+ * of one full line followed by fsync, so a completed append survives
+ * the dispatcher dying at any instruction boundary.
+ */
+class DispatchJournal
+{
+  public:
+    /** Opens (creating if needed) @p path for appending. */
+    explicit DispatchJournal(const std::string &path);
+    ~DispatchJournal();
+
+    DispatchJournal(const DispatchJournal &) = delete;
+    DispatchJournal &operator=(const DispatchJournal &) = delete;
+
+    void plan(const std::string &manifest, std::uint64_t manifestHash,
+              std::uint64_t shards, std::uint64_t jobs,
+              unsigned workers, unsigned maxAttempts,
+              unsigned maxConcurrent, std::uint64_t timeoutMs);
+    void launch(std::uint64_t shard, unsigned attempt,
+                const std::string &tmpBase);
+    void done(std::uint64_t shard, unsigned attempt,
+              const std::string &outBase);
+    void fail(std::uint64_t shard, unsigned attempt,
+              const std::string &reason);
+
+    static bool exists(const std::string &path);
+
+    /**
+     * Replay @p path into a JournalState. Fatals on a missing file, a
+     * missing/duplicate plan record, or corruption anywhere but a
+     * torn final line (which is dropped with a warning).
+     */
+    static JournalState replay(const std::string &path);
+
+  private:
+    void append(const std::string &line);
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace dist
+} // namespace stsim
+
+#endif // STSIM_DIST_JOURNAL_HH

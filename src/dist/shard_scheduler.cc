@@ -1,0 +1,457 @@
+#include "shard_scheduler.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+namespace dist
+{
+
+namespace
+{
+
+/** Poll granularity of the scheduler loop. */
+constexpr std::chrono::milliseconds kWaitSlice{50};
+
+bool
+filesIdentical(const std::string &a, const std::string &b)
+{
+    std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+    if (!fa || !fb)
+        stsim_fatal("dispatch: cannot compare '%s' and '%s'",
+                    a.c_str(), b.c_str());
+    char ba[1 << 16], bb[1 << 16];
+    for (;;) {
+        fa.read(ba, sizeof ba);
+        fb.read(bb, sizeof bb);
+        if (fa.gcount() != fb.gcount())
+            return false;
+        if (std::memcmp(ba, bb, static_cast<std::size_t>(fa.gcount())))
+            return false;
+        if (fa.gcount() == 0)
+            return fa.eof() == fb.eof();
+    }
+}
+
+void
+fsyncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0)
+        return; // advisory: rename durability, not correctness
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+std::uint64_t
+countRecords(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        stsim_fatal("dispatch: cannot read '%s'", path.c_str());
+    std::uint64_t n = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++n;
+    return n;
+}
+
+std::uint64_t
+manifestFingerprint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        stsim_fatal("dispatch: cannot read '%s'", path.c_str());
+    std::uint64_t h = 14695981039346656037ull; // FNV-1a 64 offset
+    char buf[1 << 16];
+    for (;;) {
+        in.read(buf, sizeof buf);
+        std::streamsize n = in.gcount();
+        for (std::streamsize i = 0; i < n; ++i) {
+            h ^= static_cast<unsigned char>(buf[i]);
+            h *= 1099511628211ull; // FNV prime
+        }
+        if (n == 0)
+            break;
+    }
+    return h;
+}
+
+ShardScheduler::ShardScheduler(DispatchOptions opts,
+                               HostLauncher &launcher)
+    : opts_(std::move(opts)), launcher_(launcher)
+{
+}
+
+std::string
+ShardScheduler::shardFileName(std::uint64_t shard)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "shard-%" PRIu64 ".jsonl", shard);
+    return buf;
+}
+
+std::string
+ShardScheduler::attemptFileName(std::uint64_t shard, unsigned attempt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf,
+                  "shard-%" PRIu64 ".attempt-%u.part", shard, attempt);
+    return buf;
+}
+
+std::string
+ShardScheduler::journalPath(const std::string &dir)
+{
+    return dir + "/journal.jsonl";
+}
+
+std::string
+ShardScheduler::pathIn(const std::string &base) const
+{
+    return opts_.dir + "/" + base;
+}
+
+int
+ShardScheduler::dispatch()
+{
+    if (opts_.manifest.empty() || opts_.dir.empty())
+        stsim_fatal("dispatch: needs a manifest and a directory");
+    if (opts_.shards == 0)
+        stsim_fatal("dispatch: shard count must be positive");
+    jobs_ = countRecords(opts_.manifest);
+    if (jobs_ == 0)
+        stsim_fatal("dispatch: manifest '%s' holds no jobs",
+                    opts_.manifest.c_str());
+    // Journal the manifest by absolute path: resume may run from a
+    // different working directory, and a relative path must not be
+    // free to resolve to some other file there.
+    if (char *abs = ::realpath(opts_.manifest.c_str(), nullptr)) {
+        opts_.manifest = abs;
+        std::free(abs);
+    } else {
+        stsim_fatal("dispatch: cannot resolve '%s' (%s)",
+                    opts_.manifest.c_str(), std::strerror(errno));
+    }
+    if (opts_.shards > jobs_) {
+        stsim_warn("dispatch: %" PRIu64 " shards for %" PRIu64
+                   " jobs; trailing shards will be empty",
+                   opts_.shards, jobs_);
+    }
+
+    if (::mkdir(opts_.dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        stsim_fatal("dispatch: cannot create '%s' (%s)",
+                    opts_.dir.c_str(), std::strerror(errno));
+    }
+    const std::string jpath = journalPath(opts_.dir);
+    if (DispatchJournal::exists(jpath)) {
+        stsim_fatal("dispatch: '%s' already exists -- a previous "
+                    "dispatch ran here; use `stsim_runner resume "
+                    "--dir %s` (or remove the directory)",
+                    jpath.c_str(), opts_.dir.c_str());
+    }
+    maxAttempts_ = opts_.maxAttempts.value_or(3);
+    maxConcurrent_ = opts_.maxConcurrent.value_or(0);
+    shardTimeout_ =
+        opts_.shardTimeout.value_or(std::chrono::milliseconds(0));
+    if (maxAttempts_ == 0)
+        stsim_fatal("dispatch: max attempts must be positive");
+
+    journal_ = std::make_unique<DispatchJournal>(jpath);
+    journal_->plan(opts_.manifest, manifestFingerprint(opts_.manifest),
+                   opts_.shards, jobs_, opts_.workersPerShard,
+                   maxAttempts_, maxConcurrent_,
+                   static_cast<std::uint64_t>(shardTimeout_.count()));
+
+    shards_.assign(opts_.shards, Shard{});
+    for (std::uint64_t i = 0; i < opts_.shards; ++i)
+        pending_.push_back(i);
+    return runLoop();
+}
+
+int
+ShardScheduler::resume()
+{
+    if (opts_.dir.empty())
+        stsim_fatal("resume: needs a dispatch directory");
+    const std::string jpath = journalPath(opts_.dir);
+    JournalState st = DispatchJournal::replay(jpath);
+
+    opts_.manifest = st.manifest;
+    opts_.shards = st.shards;
+    if (!opts_.workersPerShard)
+        opts_.workersPerShard = st.workers;
+    // A bare resume runs with the original dispatch's scheduling
+    // knobs (they are part of the plan); CLI flags still override.
+    maxAttempts_ = opts_.maxAttempts.value_or(st.maxAttempts);
+    maxConcurrent_ = opts_.maxConcurrent.value_or(st.maxConcurrent);
+    shardTimeout_ = opts_.shardTimeout.value_or(
+        std::chrono::milliseconds(st.timeoutMs));
+    if (maxAttempts_ == 0)
+        stsim_fatal("resume: max attempts must be positive");
+    jobs_ = countRecords(opts_.manifest);
+    if (jobs_ != st.jobs) {
+        stsim_fatal("resume: manifest '%s' now holds %" PRIu64
+                    " jobs but the journal planned %" PRIu64
+                    " -- outputs would not match the journal's plan",
+                    opts_.manifest.c_str(), jobs_, st.jobs);
+    }
+    if (manifestFingerprint(opts_.manifest) != st.manifestHash) {
+        stsim_fatal("resume: manifest '%s' does not match the one "
+                    "the journal planned (content fingerprint "
+                    "differs) -- refusing to mix results from two "
+                    "different manifests",
+                    opts_.manifest.c_str());
+    }
+
+    shards_.assign(opts_.shards, Shard{});
+    std::size_t presumedDead = 0;
+    for (std::uint64_t i = 0; i < opts_.shards; ++i) {
+        Shard &s = shards_[i];
+        s.launches = st.shard[i].launches;
+        s.failures = st.shard[i].failures;
+        s.done = st.shard[i].done;
+        if (s.done)
+            continue;
+        // The failure budget is cross-run state: a shard that already
+        // burned every attempt must not get a bonus one per resume.
+        if (s.failures >= maxAttempts_) {
+            stsim_fatal("resume: shard %" PRIu64 " already failed %u "
+                        "time(s) of %u allowed; pass a larger "
+                        "--max-attempts to retry it anyway",
+                        i, s.failures, maxAttempts_);
+        }
+        if (s.launches > s.failures)
+            ++presumedDead; // was running when the dispatcher died
+        pending_.push_back(i);
+    }
+    std::fprintf(stderr,
+                 "stsim_runner: resume: %zu/%" PRIu64 " shards done, "
+                 "%zu to run (%zu presumed dead)\n",
+                 st.doneCount(), opts_.shards, pending_.size(),
+                 presumedDead);
+    journal_ = std::make_unique<DispatchJournal>(jpath);
+    if (pending_.empty()) {
+        std::fprintf(stderr,
+                     "stsim_runner: resume: nothing to do\n");
+        return 0;
+    }
+    return runLoop();
+}
+
+void
+ShardScheduler::launchShard(std::uint64_t shard)
+{
+    Shard &s = shards_[shard];
+    ++s.launches;
+    const std::string tmpBase = attemptFileName(shard, s.launches);
+    journal_->launch(shard, s.launches, tmpBase);
+
+    ShardTask task;
+    task.shard = shard;
+    task.shards = opts_.shards;
+    task.manifest = opts_.manifest;
+    task.outPath = pathIn(tmpBase);
+    task.workers = opts_.workersPerShard;
+    task.testHangAfterFirstRecord =
+        opts_.testKillShard && *opts_.testKillShard == shard &&
+        s.launches == 1;
+    launcher_.launch(task);
+    s.running = true;
+    s.killRequested = false;
+    s.startedAt = std::chrono::steady_clock::now();
+}
+
+bool
+ShardScheduler::finalizeShard(std::uint64_t shard, unsigned attempt,
+                              std::string &error)
+{
+    const std::string tmp = pathIn(attemptFileName(shard, attempt));
+    const std::string finalPath = pathIn(shardFileName(shard));
+
+    // A zero exit does not prove the output landed: verify the record
+    // count against the manifest slice before promoting it.
+    const std::uint64_t expect =
+        jobs_ / opts_.shards + (shard < jobs_ % opts_.shards ? 1 : 0);
+    const std::uint64_t got = countRecords(tmp);
+    if (got != expect) {
+        error = "output '" + tmp + "' holds " + std::to_string(got) +
+                " of " + std::to_string(expect) + " records";
+        return false;
+    }
+
+    // Exclusive rename: link(2) refuses to clobber, so a completed
+    // shard file can never be corrupted by a re-run -- the one
+    // invariant every retry/resume path leans on.
+    if (::link(tmp.c_str(), finalPath.c_str()) == 0) {
+        ::unlink(tmp.c_str());
+        fsyncDir(opts_.dir);
+    } else if (errno == EEXIST) {
+        if (!filesIdentical(tmp, finalPath)) {
+            stsim_fatal("dispatch: shard %" PRIu64 " re-ran to '%s' "
+                        "but it differs from the completed '%s' -- "
+                        "determinism violation, refusing to continue",
+                        shard, tmp.c_str(), finalPath.c_str());
+        }
+        stsim_warn("dispatch: shard %" PRIu64 " already finalized; "
+                   "re-run output is byte-identical, dropping it",
+                   shard);
+        ::unlink(tmp.c_str());
+    } else {
+        stsim_fatal("dispatch: cannot finalize '%s' -> '%s' (%s)",
+                    tmp.c_str(), finalPath.c_str(), std::strerror(errno));
+    }
+
+    // Garbage-collect superseded attempts' partial outputs.
+    for (unsigned a = 1; a < attempt; ++a)
+        ::unlink(pathIn(attemptFileName(shard, a)).c_str());
+    journal_->done(shard, attempt, shardFileName(shard));
+    return true;
+}
+
+void
+ShardScheduler::failShard(std::uint64_t shard,
+                          const std::string &reason)
+{
+    Shard &s = shards_[shard];
+    ++s.failures;
+    journal_->fail(shard, s.launches, reason);
+    stsim_warn("dispatch: shard %" PRIu64 " attempt %u failed: %s",
+               shard, s.launches, reason.c_str());
+
+    if (opts_.testDieAfterKill && opts_.testKillShard &&
+        *opts_.testKillShard == shard && testKillIssued_) {
+        // Fault injection: the dispatcher "crashes" the instant it has
+        // journaled the worker's death -- no retries, no cleanup, no
+        // flushing. Recovery must come entirely from `resume`.
+        std::fprintf(stderr,
+                     "stsim_runner: dispatch: test-die-after-kill: "
+                     "simulating dispatcher crash\n");
+        std::_Exit(3);
+    }
+
+    if (s.failures >= maxAttempts_) {
+        stsim_fatal("dispatch: shard %" PRIu64 " failed %u time(s); "
+                    "giving up (last: %s)",
+                    shard, s.failures, reason.c_str());
+    }
+    pending_.push_back(shard);
+}
+
+void
+ShardScheduler::handleExit(const ShardExit &ex)
+{
+    Shard &s = shards_[ex.shard];
+    stsim_assert(s.running, "dispatch: exit for idle shard %" PRIu64,
+                 ex.shard);
+    s.running = false;
+    if (!ex.success) {
+        failShard(ex.shard, ex.reason.empty() ? "unknown" : ex.reason);
+        return;
+    }
+    std::string error;
+    if (finalizeShard(ex.shard, s.launches, error)) {
+        s.done = true;
+        return;
+    }
+    failShard(ex.shard, error);
+}
+
+void
+ShardScheduler::maybeInjectKill()
+{
+    if (!opts_.testKillShard || testKillIssued_)
+        return;
+    const std::uint64_t target = *opts_.testKillShard;
+    if (target >= shards_.size() || !shards_[target].running ||
+        shards_[target].launches != 1) {
+        return;
+    }
+    // Kill only once the worker is provably mid-shard: its first
+    // record is flushed (the hang hook guarantees no more follow).
+    struct stat st;
+    const std::string tmp = pathIn(attemptFileName(target, 1));
+    if (::stat(tmp.c_str(), &st) != 0 || st.st_size == 0)
+        return;
+    stsim_warn("dispatch: test-kill-shard: SIGKILLing shard %" PRIu64
+               " mid-shard",
+               target);
+    launcher_.kill(target);
+    testKillIssued_ = true;
+}
+
+void
+ShardScheduler::killStragglers()
+{
+    if (shardTimeout_.count() <= 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < shards_.size(); ++i) {
+        Shard &s = shards_[i];
+        if (!s.running || s.killRequested)
+            continue;
+        if (now - s.startedAt < shardTimeout_)
+            continue;
+        stsim_warn("dispatch: shard %" PRIu64 " attempt %u is a "
+                   "straggler (over %lld ms); killing for retry",
+                   i, s.launches,
+                   static_cast<long long>(shardTimeout_.count()));
+        s.killRequested = true;
+        launcher_.kill(i);
+        // Its death arrives through waitAny like any other failure.
+    }
+}
+
+int
+ShardScheduler::runLoop()
+{
+    while (!pending_.empty() || launcher_.running() > 0) {
+        while (!pending_.empty() &&
+               (maxConcurrent_ == 0 ||
+                launcher_.running() < maxConcurrent_)) {
+            std::uint64_t shard = pending_.front();
+            pending_.pop_front();
+            launchShard(shard);
+        }
+        maybeInjectKill();
+        // Check stragglers every iteration: a steady stream of other
+        // workers' exits must not starve the timeout enforcement.
+        killStragglers();
+        std::optional<ShardExit> ex = launcher_.waitAny(kWaitSlice);
+        if (!ex)
+            continue;
+        handleExit(*ex);
+    }
+
+    std::size_t done = 0;
+    for (const Shard &s : shards_)
+        done += s.done;
+    stsim_assert(done == shards_.size(),
+                 "dispatch: loop ended with %zu/%zu shards done",
+                 done, shards_.size());
+    std::fprintf(stderr,
+                 "stsim_runner: dispatch complete: %zu shard file(s) "
+                 "in %s; merge with:\n"
+                 "  stsim_runner merge --manifest %s --out merged.jsonl"
+                 " %s/shard-*.jsonl\n",
+                 done, opts_.dir.c_str(), opts_.manifest.c_str(),
+                 opts_.dir.c_str());
+    return 0;
+}
+
+} // namespace dist
+} // namespace stsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fault-tolerant shard scheduler: dispatches a manifest's shards onto
+ * a HostLauncher, tracks per-shard state (pending / running / done /
+ * failed) through a crash-safe journal, retries failed or straggling
+ * shards, and finalizes each shard's output with an exclusive-rename
+ * protocol so a re-run can never corrupt a completed shard file.
+ *
+ * Output protocol: a worker for shard i, attempt k streams records to
+ * `<dir>/shard-i.attempt-k.part`. Only the scheduler promotes a
+ * verified-complete .part to the final `<dir>/shard-i.jsonl`, via
+ * link(2) -- which fails with EEXIST instead of clobbering. If the
+ * final file already exists (a resumed dispatcher racing its own
+ * past, or an orphaned worker that finished after a presumed-dead
+ * relaunch), the new output must be byte-identical to be discarded;
+ * any difference is a determinism violation and fatals.
+ */
+
+#ifndef STSIM_DIST_SHARD_SCHEDULER_HH
+#define STSIM_DIST_SHARD_SCHEDULER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/host_launcher.hh"
+#include "dist/journal.hh"
+
+namespace stsim
+{
+namespace dist
+{
+
+/** Everything a dispatch run needs beyond the launcher. */
+struct DispatchOptions
+{
+    std::string manifest;      ///< job manifest (JSONL, one SimJob/line)
+    std::string dir;           ///< output + journal directory
+    std::uint64_t shards = 4;  ///< shard count (i % shards == i slices)
+    unsigned workersPerShard = 0; ///< forwarded as the worker's --jobs
+
+    // The scheduling knobs are journaled in the plan record so a bare
+    // `resume --dir D` runs with the original dispatch's settings;
+    // unset here means "dispatch default / resume from the plan".
+    std::optional<unsigned> maxAttempts;   ///< failures before give-up
+                                           ///< (default 3)
+    std::optional<unsigned> maxConcurrent; ///< running-shard cap
+                                           ///< (default 0 = all)
+    /** Running longer than this gets a shard killed and retried
+     *  (straggler replacement); zero disables the timeout. */
+    std::optional<std::chrono::milliseconds> shardTimeout;
+
+    // Fault-injection hooks (tests/CI only): SIGKILL this shard's
+    // first attempt once it has streamed a record; optionally crash
+    // the dispatcher itself right after observing that death, leaving
+    // recovery entirely to `resume`.
+    std::optional<std::uint64_t> testKillShard;
+    bool testDieAfterKill = false;
+};
+
+class ShardScheduler
+{
+  public:
+    ShardScheduler(DispatchOptions opts, HostLauncher &launcher);
+
+    /**
+     * Fresh dispatch: creates @p dir if needed, refuses to run if a
+     * journal already exists there (that is what resume is for),
+     * journals the plan, and runs every shard to completion. Returns
+     * 0 once all shard files are finalized.
+     */
+    int dispatch();
+
+    /**
+     * Resume after a dispatcher death: replays the journal, fills
+     * unset options (manifest, shards, workers) from the plan, and
+     * relaunches only unfinished shards. Attempts that were running
+     * when the dispatcher died are presumed dead and relaunched; the
+     * exclusive-rename finalize keeps that safe even if the old
+     * worker is in fact still running.
+     */
+    int resume();
+
+    /** Final output basename for @p shard ("shard-3.jsonl"). */
+    static std::string shardFileName(std::uint64_t shard);
+
+    /** Attempt-scoped temporary basename ("shard-3.attempt-2.part"). */
+    static std::string attemptFileName(std::uint64_t shard,
+                                       unsigned attempt);
+
+    /** The journal's path inside a dispatch directory. */
+    static std::string journalPath(const std::string &dir);
+
+  private:
+    struct Shard
+    {
+        unsigned launches = 0; ///< attempts started (incl. presumed dead)
+        unsigned failures = 0; ///< observed terminal failures
+        bool done = false;
+        bool running = false;
+        bool killRequested = false;
+        std::chrono::steady_clock::time_point startedAt{};
+    };
+
+    int runLoop();
+    void launchShard(std::uint64_t shard);
+    void handleExit(const ShardExit &ex);
+    void failShard(std::uint64_t shard, const std::string &reason);
+    /** Promote a completed attempt's .part; false = retryable. */
+    bool finalizeShard(std::uint64_t shard, unsigned attempt,
+                       std::string &error);
+    void maybeInjectKill();
+    void killStragglers();
+    std::string pathIn(const std::string &base) const;
+
+    DispatchOptions opts_;
+    HostLauncher &launcher_;
+    std::unique_ptr<DispatchJournal> journal_;
+    std::vector<Shard> shards_;
+    std::deque<std::uint64_t> pending_;
+    std::uint64_t jobs_ = 0;
+    // Effective knobs: CLI override > journal plan > defaults.
+    unsigned maxAttempts_ = 3;
+    unsigned maxConcurrent_ = 0;
+    std::chrono::milliseconds shardTimeout_{0};
+    bool testKillIssued_ = false;
+};
+
+/** Count of non-empty lines in @p path; fatals if unreadable. */
+std::uint64_t countRecords(const std::string &path);
+
+/**
+ * Content fingerprint (FNV-1a 64) of @p path; fatals if unreadable.
+ * Journaled with the plan so resume can prove it is re-running the
+ * same manifest, not merely one with the same path and line count.
+ */
+std::uint64_t manifestFingerprint(const std::string &path);
+
+} // namespace dist
+} // namespace stsim
+
+#endif // STSIM_DIST_SHARD_SCHEDULER_HH

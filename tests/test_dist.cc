@@ -1,0 +1,608 @@
+/**
+ * @file
+ * Distributed-dispatch subsystem tests: crash-safe journal round trips
+ * (including torn-tail tolerance and corruption refusal), and the
+ * ShardScheduler's retry / straggler / exclusive-rename / resume
+ * behavior driven through an in-process fake HostLauncher -- no
+ * subprocesses, fully deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "dist/host_launcher.hh"
+#include "dist/journal.hh"
+#include "dist/shard_scheduler.hh"
+
+using namespace stsim;
+using namespace stsim::dist;
+
+namespace
+{
+
+/** A throwaway directory, removed with its contents on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char buf[] = "/tmp/stsim_dist_test.XXXXXX";
+        char *p = ::mkdtemp(buf);
+        EXPECT_NE(p, nullptr);
+        path = p;
+    }
+
+    ~TempDir()
+    {
+        std::string cmd = "rm -rf '" + path + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+
+    std::string
+    file(const std::string &base) const
+    {
+        return path + "/" + base;
+    }
+};
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << path;
+    out << content;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** N fake manifest lines (merge/dispatch only count them). */
+std::string
+fakeManifest(std::size_t jobs)
+{
+    std::string s;
+    for (std::size_t i = 0; i < jobs; ++i)
+        s += "{\"job\":" + std::to_string(i) + "}\n";
+    return s;
+}
+
+/** The record lines shard @p i of @p n owns for a @p jobs manifest. */
+std::string
+shardRecords(std::uint64_t i, std::uint64_t n, std::uint64_t jobs)
+{
+    std::string s;
+    for (std::uint64_t idx = i; idx < jobs; idx += n)
+        s += "{\"index\":" + std::to_string(idx) + ",\"results\":{}}\n";
+    return s;
+}
+
+/**
+ * Scripted in-process launcher: each launch of shard i consumes the
+ * next behavior from its script and synchronously produces the
+ * corresponding output file + queued exit. Behaviors:
+ *   Ok          -- write the full shard slice, exit 0
+ *   CrashEarly  -- write a truncated slice, report "signal 9"
+ *   ExitNonzero -- write nothing, report "exit 1"
+ *   Truncated   -- write a truncated slice but report success
+ *   Hang        -- produce nothing until kill() (straggler fodder)
+ */
+class FakeLauncher : public HostLauncher
+{
+  public:
+    enum class Behavior { Ok, CrashEarly, ExitNonzero, Truncated, Hang };
+
+    FakeLauncher(std::uint64_t jobs) : jobs_(jobs) {}
+
+    std::deque<Behavior> &
+    script(std::uint64_t shard)
+    {
+        return scripts_[shard];
+    }
+
+    std::vector<ShardTask> launched;
+
+    void
+    launch(const ShardTask &task) override
+    {
+        launched.push_back(task);
+        ++running_;
+        Behavior b = Behavior::Ok;
+        auto it = scripts_.find(task.shard);
+        if (it != scripts_.end() && !it->second.empty()) {
+            b = it->second.front();
+            it->second.pop_front();
+        }
+        switch (b) {
+          case Behavior::Ok:
+            writeFile(task.outPath,
+                      shardRecords(task.shard, task.shards, jobs_));
+            exits_.push_back({task.shard, true, ""});
+            break;
+          case Behavior::CrashEarly:
+            writeFile(task.outPath, "{\"index\":0,\"results\":{}}\n");
+            exits_.push_back({task.shard, false, "signal 9"});
+            break;
+          case Behavior::ExitNonzero:
+            exits_.push_back({task.shard, false, "exit 1"});
+            break;
+          case Behavior::Truncated:
+            writeFile(task.outPath, "{\"index\":0,\"results\":{}}\n");
+            exits_.push_back({task.shard, true, ""});
+            break;
+          case Behavior::Hang:
+            hanging_.push_back(task);
+            break;
+        }
+    }
+
+    std::optional<ShardExit>
+    waitAny(std::chrono::milliseconds timeout) override
+    {
+        if (exits_.empty()) {
+            std::this_thread::sleep_for(timeout);
+            return std::nullopt;
+        }
+        ShardExit ex = exits_.front();
+        exits_.pop_front();
+        --running_;
+        return ex;
+    }
+
+    void
+    kill(std::uint64_t shard) override
+    {
+        for (auto it = hanging_.begin(); it != hanging_.end(); ++it) {
+            if (it->shard == shard) {
+                hanging_.erase(it);
+                exits_.push_back({shard, false, "signal 9"});
+                return;
+            }
+        }
+    }
+
+    std::size_t running() const override { return running_; }
+
+  private:
+    std::uint64_t jobs_;
+    std::map<std::uint64_t, std::deque<Behavior>> scripts_;
+    std::deque<ShardExit> exits_;
+    std::vector<ShardTask> hanging_;
+    std::size_t running_ = 0;
+};
+
+DispatchOptions
+baseOptions(const TempDir &tmp, std::uint64_t shards)
+{
+    DispatchOptions o;
+    o.manifest = tmp.file("manifest.jsonl");
+    o.dir = tmp.file("out");
+    o.shards = shards;
+    return o;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+TEST(DispatchJournal, RoundTripsPlanAndShardTransitions)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("journal.jsonl");
+    {
+        DispatchJournal j(path);
+        j.plan("m.jsonl", 777, 3, 10, 2, 5, 2, 60000);
+        j.launch(0, 1, "shard-0.attempt-1.part");
+        j.launch(1, 1, "shard-1.attempt-1.part");
+        j.done(0, 1, "shard-0.jsonl");
+        j.fail(1, 1, "signal 9");
+        j.launch(1, 2, "shard-1.attempt-2.part");
+        j.done(1, 2, "shard-1.jsonl");
+    }
+    JournalState st = DispatchJournal::replay(path);
+    EXPECT_EQ(st.manifest, "m.jsonl");
+    EXPECT_EQ(st.shards, 3u);
+    EXPECT_EQ(st.jobs, 10u);
+    EXPECT_EQ(st.workers, 2u);
+    EXPECT_EQ(st.manifestHash, 777u);
+    EXPECT_EQ(st.maxAttempts, 5u);
+    EXPECT_EQ(st.maxConcurrent, 2u);
+    EXPECT_EQ(st.timeoutMs, 60000u);
+    ASSERT_EQ(st.shard.size(), 3u);
+    EXPECT_TRUE(st.shard[0].done);
+    EXPECT_EQ(st.shard[0].out, "shard-0.jsonl");
+    EXPECT_EQ(st.shard[0].failures, 0u);
+    EXPECT_TRUE(st.shard[1].done);
+    EXPECT_EQ(st.shard[1].launches, 2u);
+    EXPECT_EQ(st.shard[1].failures, 1u);
+    EXPECT_FALSE(st.shard[2].done);
+    EXPECT_EQ(st.shard[2].launches, 0u);
+    EXPECT_EQ(st.doneCount(), 2u);
+}
+
+TEST(DispatchJournal, TornTrailingLineIsDroppedOnReplay)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("journal.jsonl");
+    {
+        DispatchJournal j(path);
+        j.plan("m.jsonl", 0, 2, 4, 0, 3, 0, 0);
+        j.launch(0, 1, "shard-0.attempt-1.part");
+        j.done(0, 1, "shard-0.jsonl");
+    }
+    // Simulate a crash mid-append: a newline-less fragment.
+    std::string text = readFile(path);
+    writeFile(path, text + "{\"type\":\"done\",\"sha");
+
+    JournalState st = DispatchJournal::replay(path);
+    EXPECT_TRUE(st.shard[0].done);
+    EXPECT_FALSE(st.shard[1].done);
+
+    // Re-opening for append repairs the tail, so the next record
+    // cannot glue onto the fragment.
+    {
+        DispatchJournal j(path);
+        j.launch(1, 1, "shard-1.attempt-1.part");
+        j.done(1, 1, "shard-1.jsonl");
+    }
+    st = DispatchJournal::replay(path);
+    EXPECT_TRUE(st.shard[1].done);
+    EXPECT_EQ(st.doneCount(), 2u);
+}
+
+TEST(DispatchJournal, NewlineLessButCompleteTailIsPreserved)
+{
+    // A crash can cut an append right before its trailing newline.
+    // Replay accepts that record, so re-opening must complete it --
+    // not truncate it -- or resume's in-memory state would diverge
+    // from the journal it just rewrote.
+    TempDir tmp;
+    const std::string path = tmp.file("journal.jsonl");
+    {
+        DispatchJournal j(path);
+        j.plan("m.jsonl", 0, 2, 4, 0, 3, 0, 0);
+        j.done(0, 1, "shard-0.jsonl");
+    }
+    std::string text = readFile(path);
+    ASSERT_EQ(text.back(), '\n');
+    writeFile(path, text.substr(0, text.size() - 1)); // tear the '\n'
+
+    JournalState st = DispatchJournal::replay(path);
+    EXPECT_TRUE(st.shard[0].done);
+    {
+        DispatchJournal j(path); // repair happens here
+        j.done(1, 1, "shard-1.jsonl");
+    }
+    st = DispatchJournal::replay(path);
+    EXPECT_TRUE(st.shard[0].done) << "repair must not drop the record";
+    EXPECT_TRUE(st.shard[1].done);
+}
+
+TEST(DispatchJournal, MidFileCorruptionIsFatal)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("journal.jsonl");
+    writeFile(path,
+              "{\"type\":\"plan\",\"manifest\":\"m\","
+              "\"manifestHash\":0,\"shards\":2,"
+              "\"jobs\":4,\"workers\":0,\"maxAttempts\":3,"
+              "\"maxConcurrent\":0,\"timeoutMs\":0}\n"
+              "this is not json\n"
+              "{\"type\":\"done\",\"shard\":0,\"attempt\":1,"
+              "\"out\":\"shard-0.jsonl\"}\n");
+    EXPECT_EXIT(DispatchJournal::replay(path),
+                ::testing::ExitedWithCode(1), "corrupt at line 2");
+}
+
+TEST(DispatchJournal, MissingPlanIsFatal)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("journal.jsonl");
+    writeFile(path, "");
+    EXPECT_EXIT(DispatchJournal::replay(path),
+                ::testing::ExitedWithCode(1), "holds no plan record");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+TEST(ShardScheduler, DispatchRunsEveryShardToDone)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(10));
+    FakeLauncher launcher(10);
+    ShardScheduler sched(baseOptions(tmp, 3), launcher);
+    EXPECT_EQ(sched.dispatch(), 0);
+
+    EXPECT_EQ(launcher.launched.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(readFile(tmp.file("out/shard-" + std::to_string(i) +
+                                    ".jsonl")),
+                  shardRecords(i, 3, 10));
+    }
+    JournalState st = DispatchJournal::replay(
+        ShardScheduler::journalPath(tmp.file("out")));
+    EXPECT_EQ(st.doneCount(), 3u);
+}
+
+TEST(ShardScheduler, RetriesFailedShardAndJournalsTheFailure)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(8));
+    FakeLauncher launcher(8);
+    launcher.script(1) = {FakeLauncher::Behavior::CrashEarly,
+                          FakeLauncher::Behavior::Ok};
+    ShardScheduler sched(baseOptions(tmp, 4), launcher);
+    EXPECT_EQ(sched.dispatch(), 0);
+
+    EXPECT_EQ(launcher.launched.size(), 5u); // 4 shards + 1 retry
+    JournalState st = DispatchJournal::replay(
+        ShardScheduler::journalPath(tmp.file("out")));
+    EXPECT_EQ(st.shard[1].launches, 2u);
+    EXPECT_EQ(st.shard[1].failures, 1u);
+    EXPECT_TRUE(st.shard[1].done);
+    EXPECT_EQ(readFile(tmp.file("out/shard-1.jsonl")),
+              shardRecords(1, 4, 8));
+}
+
+TEST(ShardScheduler, SuccessfulExitWithTruncatedOutputIsRetried)
+{
+    // A zero exit is not proof the records landed: the scheduler
+    // verifies the slice's record count before finalizing.
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(8));
+    FakeLauncher launcher(8);
+    launcher.script(0) = {FakeLauncher::Behavior::Truncated,
+                          FakeLauncher::Behavior::Ok};
+    ShardScheduler sched(baseOptions(tmp, 2), launcher);
+    EXPECT_EQ(sched.dispatch(), 0);
+
+    JournalState st = DispatchJournal::replay(
+        ShardScheduler::journalPath(tmp.file("out")));
+    EXPECT_EQ(st.shard[0].failures, 1u);
+    EXPECT_TRUE(st.shard[0].done);
+    EXPECT_EQ(readFile(tmp.file("out/shard-0.jsonl")),
+              shardRecords(0, 2, 8));
+}
+
+TEST(ShardScheduler, GivesUpAfterMaxAttempts)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    FakeLauncher launcher(4);
+    launcher.script(0) = {FakeLauncher::Behavior::ExitNonzero,
+                          FakeLauncher::Behavior::ExitNonzero};
+    DispatchOptions opts = baseOptions(tmp, 2);
+    opts.maxAttempts = 2;
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EXIT(sched.dispatch(), ::testing::ExitedWithCode(1),
+                "shard 0 failed 2 time");
+}
+
+TEST(ShardScheduler, DispatchRefusesAnExistingJournal)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    writeFile(ShardScheduler::journalPath(tmp.file("out")), "");
+    FakeLauncher launcher(4);
+    ShardScheduler sched(baseOptions(tmp, 2), launcher);
+    EXPECT_EXIT(sched.dispatch(), ::testing::ExitedWithCode(1),
+                "already exists");
+}
+
+TEST(ShardScheduler, StragglerIsKilledAndRetried)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    FakeLauncher launcher(4);
+    launcher.script(1) = {FakeLauncher::Behavior::Hang,
+                          FakeLauncher::Behavior::Ok};
+    DispatchOptions opts = baseOptions(tmp, 2);
+    opts.shardTimeout = std::chrono::milliseconds(10);
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EQ(sched.dispatch(), 0);
+
+    JournalState st = DispatchJournal::replay(
+        ShardScheduler::journalPath(tmp.file("out")));
+    EXPECT_EQ(st.shard[1].launches, 2u);
+    EXPECT_EQ(st.shard[1].failures, 1u);
+    EXPECT_TRUE(st.shard[1].done);
+}
+
+TEST(ShardScheduler, ResumeRelaunchesOnlyUnfinishedShards)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(10));
+
+    // First dispatch: shard 2 dies, and so does the dispatcher (here:
+    // we just stop after recording the failure, by scripting give-up
+    // avoidance through a fresh scheduler below).
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    {
+        DispatchJournal j(ShardScheduler::journalPath(tmp.file("out")));
+        j.plan(tmp.file("manifest.jsonl"),
+               manifestFingerprint(tmp.file("manifest.jsonl")), 4,
+               10, 0, 3, 0, 0);
+        for (std::uint64_t i = 0; i < 4; ++i)
+            j.launch(i, 1, ShardScheduler::attemptFileName(i, 1));
+        j.done(0, 1, ShardScheduler::shardFileName(0));
+        j.done(3, 1, ShardScheduler::shardFileName(3));
+        j.fail(2, 1, "signal 9");
+        // shard 1: launch with no terminal record = presumed dead.
+    }
+    writeFile(tmp.file("out/shard-0.jsonl"), shardRecords(0, 4, 10));
+    writeFile(tmp.file("out/shard-3.jsonl"), shardRecords(3, 4, 10));
+
+    FakeLauncher launcher(10);
+    DispatchOptions opts;
+    opts.dir = tmp.file("out");
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EQ(sched.resume(), 0);
+
+    // Only the presumed-dead shard 1 and the failed shard 2 ran.
+    ASSERT_EQ(launcher.launched.size(), 2u);
+    EXPECT_EQ(launcher.launched[0].shard, 1u);
+    EXPECT_EQ(launcher.launched[1].shard, 2u);
+    // Attempt numbering continues past the journaled history.
+    EXPECT_NE(launcher.launched[0].outPath.find("attempt-2"),
+              std::string::npos);
+
+    JournalState st = DispatchJournal::replay(
+        ShardScheduler::journalPath(tmp.file("out")));
+    EXPECT_EQ(st.doneCount(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(readFile(tmp.file("out/" +
+                                    ShardScheduler::shardFileName(i))),
+                  shardRecords(i, 4, 10));
+    }
+}
+
+TEST(ShardScheduler, ExclusiveRenameKeepsCompletedShardIntact)
+{
+    // A shard file that already exists must never be rewritten: an
+    // identical re-run is discarded, a differing one is fatal.
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    writeFile(tmp.file("out/" + ShardScheduler::shardFileName(0)),
+              shardRecords(0, 2, 4));
+
+    FakeLauncher launcher(4);
+    ShardScheduler sched(baseOptions(tmp, 2), launcher);
+    EXPECT_EQ(sched.dispatch(), 0);
+    EXPECT_EQ(readFile(tmp.file("out/shard-0.jsonl")),
+              shardRecords(0, 2, 4));
+
+    // Now a pre-existing file with DIFFERENT contents: determinism
+    // violation, refuse to continue.
+    TempDir tmp2;
+    writeFile(tmp2.file("manifest.jsonl"), fakeManifest(4));
+    ASSERT_EQ(::mkdir(tmp2.file("out").c_str(), 0777), 0);
+    writeFile(tmp2.file("out/" + ShardScheduler::shardFileName(0)),
+              "{\"index\":0,\"results\":{\"different\":true}}\n"
+              "{\"index\":2,\"results\":{}}\n");
+    FakeLauncher launcher2(4);
+    ShardScheduler sched2(baseOptions(tmp2, 2), launcher2);
+    EXPECT_EXIT(sched2.dispatch(), ::testing::ExitedWithCode(1),
+                "determinism violation");
+}
+
+TEST(ShardScheduler, ResumeHonorsThePlansSchedulingKnobs)
+{
+    // A bare `resume --dir D` must run with the original dispatch's
+    // knobs: with maxAttempts=1 journaled, one more failure gives up
+    // instead of silently reverting to the default three attempts.
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    {
+        DispatchJournal j(ShardScheduler::journalPath(tmp.file("out")));
+        j.plan(tmp.file("manifest.jsonl"),
+               manifestFingerprint(tmp.file("manifest.jsonl")), 2,
+               4, 0, 1, 0, 0);
+    }
+    FakeLauncher launcher(4);
+    launcher.script(0) = {FakeLauncher::Behavior::ExitNonzero};
+    DispatchOptions opts;
+    opts.dir = tmp.file("out");
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EXIT(sched.resume(), ::testing::ExitedWithCode(1),
+                "shard 0 failed 1 time");
+}
+
+TEST(ShardScheduler, ResumeRejectsChangedManifestContent)
+{
+    // Same path, same line count, different bytes: without the
+    // journaled fingerprint this would silently mix two configs'
+    // results in one output directory.
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    {
+        DispatchJournal j(ShardScheduler::journalPath(tmp.file("out")));
+        j.plan(tmp.file("manifest.jsonl"),
+               manifestFingerprint(tmp.file("manifest.jsonl")), 2, 4,
+               0, 3, 0, 0);
+    }
+    writeFile(tmp.file("manifest.jsonl"),
+              "{\"job\":9}\n{\"job\":8}\n{\"job\":7}\n{\"job\":6}\n");
+    FakeLauncher launcher(4);
+    DispatchOptions opts;
+    opts.dir = tmp.file("out");
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EXIT(sched.resume(), ::testing::ExitedWithCode(1),
+                "content fingerprint");
+}
+
+TEST(ShardScheduler, ResumeRefusesAShardWithNoAttemptsLeft)
+{
+    // The failure budget is cross-run state: --max-attempts exhausted
+    // before the crash means resume must refuse, not grant a bonus
+    // attempt per invocation.
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    {
+        DispatchJournal j(ShardScheduler::journalPath(tmp.file("out")));
+        j.plan(tmp.file("manifest.jsonl"),
+               manifestFingerprint(tmp.file("manifest.jsonl")), 2, 4,
+               0, 1, 0, 0);
+        j.launch(0, 1, ShardScheduler::attemptFileName(0, 1));
+        j.fail(0, 1, "exit 1");
+    }
+    FakeLauncher launcher(4);
+    DispatchOptions opts;
+    opts.dir = tmp.file("out");
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EXIT(sched.resume(), ::testing::ExitedWithCode(1),
+                "already failed 1 time");
+
+    // An explicit larger --max-attempts is the override lever.
+    FakeLauncher launcher2(4);
+    DispatchOptions opts2;
+    opts2.dir = tmp.file("out");
+    opts2.maxAttempts = 2;
+    ShardScheduler sched2(std::move(opts2), launcher2);
+    EXPECT_EQ(sched2.resume(), 0);
+}
+
+TEST(ShardScheduler, ResumeRejectsAManifestThatChangedSize)
+{
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(10));
+    ASSERT_EQ(::mkdir(tmp.file("out").c_str(), 0777), 0);
+    {
+        DispatchJournal j(ShardScheduler::journalPath(tmp.file("out")));
+        j.plan(tmp.file("manifest.jsonl"), 0, 4, 12, 0, 3, 0, 0);
+    }
+    FakeLauncher launcher(10);
+    DispatchOptions opts;
+    opts.dir = tmp.file("out");
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EXIT(sched.resume(), ::testing::ExitedWithCode(1),
+                "journal planned 12");
+}

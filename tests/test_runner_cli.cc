@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Subprocess tests for the stsim_runner CLI surface itself: help goes
+ * to stdout with exit 0 (so `stsim_runner --help | less` works), and
+ * the merge failure paths die with their exact fatal diagnostics --
+ * duplicate index, missing index, non-index-ascending shard files,
+ * manifest-derived record counts, and the dup-tolerant verify.
+ *
+ * The binary under test is baked in as STSIM_RUNNER_PATH by CMake.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <stdlib.h>
+#include <sys/wait.h>
+
+namespace
+{
+
+struct CmdResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run @p cmd through the shell, capturing the chosen streams. */
+CmdResult
+run(const std::string &cmd)
+{
+    CmdResult r;
+    FILE *p = ::popen(cmd.c_str(), "r");
+    EXPECT_NE(p, nullptr) << cmd;
+    if (!p)
+        return r;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, p)) > 0)
+        r.output.append(buf, n);
+    int status = ::pclose(p);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+runner()
+{
+    return STSIM_RUNNER_PATH;
+}
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char buf[] = "/tmp/stsim_cli_test.XXXXXX";
+        char *p = ::mkdtemp(buf);
+        EXPECT_NE(p, nullptr);
+        path = p;
+    }
+
+    ~TempDir()
+    {
+        std::string cmd = "rm -rf '" + path + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+
+    std::string
+    file(const std::string &base, const std::string &content) const
+    {
+        std::string full = path + "/" + base;
+        std::ofstream out(full, std::ios::binary);
+        EXPECT_TRUE(out.is_open()) << full;
+        out << content;
+        return full;
+    }
+};
+
+/** One fake result record line; merge only parses the index field. */
+std::string
+rec(std::uint64_t idx, const std::string &tag = "x")
+{
+    return "{\"index\":" + std::to_string(idx) + ",\"results\":\"" +
+           tag + "\"}\n";
+}
+
+} // namespace
+
+TEST(RunnerHelp, PrintsUsageOnStdoutAndExitsZero)
+{
+    for (const char *flag : {"help", "--help", "-h"}) {
+        CmdResult r = run(runner() + " " + flag + " 2>/dev/null");
+        EXPECT_EQ(r.exitCode, 0) << flag;
+        EXPECT_NE(r.output.find("usage:"), std::string::npos) << flag;
+        EXPECT_NE(r.output.find("dispatch"), std::string::npos) << flag;
+    }
+}
+
+TEST(RunnerHelp, BadInvocationStillFailsOnStderr)
+{
+    // No args: usage on stderr, exit 2, nothing on stdout.
+    CmdResult out = run(runner() + " 2>/dev/null");
+    EXPECT_EQ(out.exitCode, 2);
+    EXPECT_TRUE(out.output.empty());
+    CmdResult err = run(runner() + " 2>&1 >/dev/null");
+    EXPECT_EQ(err.exitCode, 2);
+    EXPECT_NE(err.output.find("usage:"), std::string::npos);
+}
+
+TEST(MergeFailure, RequiresACompletenessTarget)
+{
+    // The usage line promises (--manifest FILE | --expect N); the
+    // code must actually enforce it, or a tail-truncated stream
+    // would merge "cleanly".
+    TempDir tmp;
+    std::string a = tmp.file("a.jsonl", rec(0) + rec(1));
+    CmdResult r = run(runner() + " merge --out /dev/null '" + a +
+                      "' 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("merge needs --manifest"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(MergeFailure, DuplicateIndexDiagnostic)
+{
+    TempDir tmp;
+    std::string a = tmp.file("a.jsonl", rec(0) + rec(1));
+    std::string b = tmp.file("b.jsonl", rec(1) + rec(2));
+    CmdResult r = run(runner() + " merge --expect 3 --out /dev/null '" +
+                      a + "' '" + b + "' 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("fatal: merge: duplicate result index 1 "
+                            "(re-run shards need --allow-dups)"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(MergeFailure, MissingIndexDiagnostic)
+{
+    TempDir tmp;
+    std::string a = tmp.file("a.jsonl", rec(0) + rec(2));
+    CmdResult r = run(runner() + " merge --expect 3 --out /dev/null '" +
+                      a + "' 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("fatal: merge: missing result index 1"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(MergeFailure, NonAscendingShardFileDiagnostic)
+{
+    // The descent must sit past the first record: the merge discovers
+    // per-file order violations as it advances a cursor, and a file
+    // opening too high trips the gap check first instead.
+    TempDir tmp;
+    std::string a = tmp.file("a.jsonl", rec(0) + rec(2) + rec(1));
+    std::string b = tmp.file("b.jsonl", rec(1));
+    CmdResult r = run(runner() + " merge --expect 4 --out /dev/null '" +
+                      a + "' '" + b + "' 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("fatal: merge: '" + a +
+                            "' is not index-ascending"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(MergeFailure, ManifestDerivedCountCatchesTruncation)
+{
+    TempDir tmp;
+    std::string manifest =
+        tmp.file("manifest.jsonl", "{\"job\":0}\n{\"job\":1}\n"
+                                   "{\"job\":2}\n");
+    std::string a = tmp.file("a.jsonl", rec(0) + rec(1));
+    CmdResult r = run(runner() + " merge --manifest '" + manifest +
+                      "' --out /dev/null '" + a + "' 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("fatal: merge: expected 3 records, "
+                            "found 2"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(MergeFailure, ExpectOverridesManifest)
+{
+    TempDir tmp;
+    std::string manifest =
+        tmp.file("manifest.jsonl", "{\"job\":0}\n{\"job\":1}\n"
+                                   "{\"job\":2}\n");
+    std::string a = tmp.file("a.jsonl", rec(0) + rec(1));
+    CmdResult r = run(runner() + " merge --manifest '" + manifest +
+                      "' --expect 2 --out /dev/null '" + a +
+                      "' 2>/dev/null");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST(MergeDups, IdenticalDuplicatesAreVerifiedAndDropped)
+{
+    TempDir tmp;
+    std::string a =
+        tmp.file("a.jsonl", rec(0, "a") + rec(1, "b") + rec(2, "c"));
+    std::string b = tmp.file("b.jsonl", rec(1, "b")); // identical re-run
+    std::string out = tmp.path + "/merged.jsonl";
+    CmdResult r = run(runner() + " merge --allow-dups --expect 3 "
+                      "--out '" + out + "' '" + a + "' '" + b +
+                      "' 2>/dev/null");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    std::ifstream merged(out);
+    std::string text((std::istreambuf_iterator<char>(merged)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text, rec(0, "a") + rec(1, "b") + rec(2, "c"));
+}
+
+TEST(MergeDups, DifferingDuplicateIsFatal)
+{
+    TempDir tmp;
+    std::string a =
+        tmp.file("a.jsonl", rec(0, "a") + rec(1, "b") + rec(2, "c"));
+    std::string b = tmp.file("b.jsonl", rec(1, "DIFFERENT"));
+    CmdResult r = run(runner() + " merge --allow-dups --expect 3 "
+                      "--out /dev/null '" + a + "' '" + b +
+                      "' 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("fatal: merge: duplicate records for "
+                            "index 1 are not byte-identical"),
+              std::string::npos)
+        << r.output;
+}
