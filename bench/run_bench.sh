@@ -8,9 +8,18 @@
 # benchmark library, which is exactly the failure mode this guards.
 #
 # Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
+#        bench/run_bench.sh --serve [build-dir] [loadgen bench args...]
 #
-# Output: BENCH_microbench.json in the current directory.
+# Output: BENCH_microbench.json in the current directory -- or, with
+# --serve, BENCH_serve.json (sustained jobs/sec and latency
+# percentiles through a live stsim_serve daemon).
 set -euo pipefail
+
+serve_mode=0
+if [[ "${1:-}" == "--serve" ]]; then
+    serve_mode=1
+    shift
+fi
 
 build_dir="${1:-build}"
 shift || true
@@ -21,7 +30,12 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 # with a different build type is reconfigured rather than trusted.
 cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "${build_dir}" -j"$(nproc)" --target microbench
+if [[ "${serve_mode}" == 1 ]]; then
+    cmake --build "${build_dir}" -j"$(nproc)" \
+        --target stsim_runner stsim_serve stsim_loadgen
+else
+    cmake --build "${build_dir}" -j"$(nproc)" --target microbench
+fi
 
 # Fail loudly unless the tree we are about to measure is Release.
 build_type="$(grep -E '^CMAKE_BUILD_TYPE:' \
@@ -31,6 +45,43 @@ if [[ "${build_type}" != "Release" ]]; then
     echo "refusing to record benchmark numbers from a non-Release" >&2
     echo "build. Reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
     exit 1
+fi
+
+if [[ "${serve_mode}" == 1 ]]; then
+    # Serve throughput: a short closed-loop load against a live
+    # daemon over a Unix socket, recorded as BENCH_serve.json. The
+    # daemon is SIGTERMed afterwards and must drain to exit 0 -- a
+    # bench run that leaves a wedged server is a failed bench run.
+    tmp="$(mktemp -d)"
+    server_pid=
+    cleanup() {
+        if [[ -n "${server_pid}" ]] && \
+           kill -0 "${server_pid}" 2>/dev/null; then
+            kill -KILL "${server_pid}" 2>/dev/null || true
+        fi
+        rm -rf "${tmp}"
+    }
+    trap cleanup EXIT
+    sock="${tmp}/serve.sock"
+
+    "${build_dir}/stsim_runner" manifest --suite golden \
+        --insts 3000 --warmup 500 --out "${tmp}/manifest.jsonl"
+    "${build_dir}/stsim_serve" --unix "${sock}" \
+        2> "${tmp}/server.log" &
+    server_pid=$!
+    "${build_dir}/stsim_loadgen" ping --unix "${sock}" --tries 100
+    "${build_dir}/stsim_loadgen" bench --unix "${sock}" \
+        --manifest "${tmp}/manifest.jsonl" \
+        --clients 4 --duration-sec 5 --json BENCH_serve.json "$@"
+    kill -TERM "${server_pid}"
+    if ! wait "${server_pid}"; then
+        echo "error: stsim_serve did not drain cleanly; log:" >&2
+        cat "${tmp}/server.log" >&2
+        exit 1
+    fi
+    server_pid=
+    echo "wrote BENCH_serve.json"
+    exit 0
 fi
 
 micro="${build_dir}/microbench"

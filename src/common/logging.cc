@@ -5,6 +5,26 @@
 
 namespace stsim
 {
+
+namespace
+{
+/**
+ * Depth of active FatalCaptureScopes on this thread. Nonzero turns
+ * stsim_fatal into a throw; zero keeps the historical exit(1).
+ */
+thread_local int fatalCaptureDepth = 0;
+} // namespace
+
+FatalCaptureScope::FatalCaptureScope()
+{
+    ++fatalCaptureDepth;
+}
+
+FatalCaptureScope::~FatalCaptureScope()
+{
+    --fatalCaptureDepth;
+}
+
 namespace detail
 {
 
@@ -37,6 +57,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalCaptureDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

@@ -9,10 +9,46 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace stsim
 {
+
+/**
+ * Recoverable form of stsim_fatal: thrown instead of exiting while a
+ * FatalCaptureScope is active on the calling thread. Long-lived
+ * processes (the stsim_serve daemon) use this to turn "user fault"
+ * conditions buried in shared code -- malformed serde input, invalid
+ * configurations, unknown benchmark/policy names -- into structured
+ * error replies instead of process exits. stsim_panic (simulator
+ * bugs) is never captured and still aborts.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * RAII guard that redirects stsim_fatal on this thread into a thrown
+ * FatalError for its lifetime. Nestable; purely thread-local, so one
+ * request thread capturing fatals never changes the behavior of any
+ * other thread. The default (no active scope) is the historical
+ * print-and-exit(1), which every CLI and test relies on.
+ */
+class FatalCaptureScope
+{
+  public:
+    FatalCaptureScope();
+    ~FatalCaptureScope();
+
+    FatalCaptureScope(const FatalCaptureScope &) = delete;
+    FatalCaptureScope &operator=(const FatalCaptureScope &) = delete;
+};
 
 namespace detail
 {

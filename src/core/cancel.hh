@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cooperative cancellation for simulation work. A CancelToken is a
+ * single atomic flag shared between a requester (a deadline reaper, a
+ * disconnecting client, a draining server) and the code doing the
+ * work. Simulator::run polls it every few thousand cycles; runJobs
+ * checks it before starting each job. Cancellation surfaces as a
+ * thrown JobCancelled, which rides the same abort path as any other
+ * job exception, so gate-blocked pool workers are released exactly
+ * the way they are on a sink failure.
+ *
+ * Everything is best-effort and cooperative: cancel() never
+ * interrupts a tick mid-flight, it just makes the next poll throw.
+ * With no token supplied (the default everywhere), the polling code
+ * is a never-taken null check -- zero overhead when disabled.
+ */
+
+#ifndef STSIM_CORE_CANCEL_HH
+#define STSIM_CORE_CANCEL_HH
+
+#include <atomic>
+#include <stdexcept>
+
+namespace stsim
+{
+
+/** One-shot, thread-safe cancellation flag. Never resets. */
+class CancelToken
+{
+  public:
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** Thrown out of a simulation when its CancelToken fires. */
+class JobCancelled : public std::runtime_error
+{
+  public:
+    JobCancelled() : std::runtime_error("job cancelled") {}
+};
+
+} // namespace stsim
+
+#endif // STSIM_CORE_CANCEL_HH

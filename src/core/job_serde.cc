@@ -1197,6 +1197,38 @@ jobFromJson(std::string_view json)
     return j;
 }
 
+bool
+tryParseServeRequest(std::string_view json, ServeRequest &out,
+                     std::string &err)
+{
+    // Every fatal the strict parser / config decoder raises on this
+    // thread while the scope is active becomes a FatalError caught
+    // below -- one request frame can never take the daemon down.
+    FatalCaptureScope scope;
+    try {
+        JVal v = Parser(json).parse();
+        out = ServeRequest{};
+        if (const JVal *id = v.find("id"))
+            out.id = id->asU64();
+        if (const JVal *op = v.find("op")) {
+            if (op->asStr() != "ping") {
+                err = "unknown op '" + op->asStr() + "'";
+                return false;
+            }
+            out.ping = true;
+            return true;
+        }
+        if (const JVal *dl = v.find("deadlineMs"))
+            out.deadlineMs = dl->asU64();
+        out.job.experiment = v.at("experiment").asStr();
+        out.job.cfg = configFromJVal(v.at("cfg"));
+        return true;
+    } catch (const FatalError &e) {
+        err = e.what();
+        return false;
+    }
+}
+
 std::string
 toJson(const SimResults &r)
 {

@@ -64,6 +64,31 @@ resultRecordFromJson(std::string_view json);
 std::uint64_t resultRecordIndex(std::string_view json);
 
 /**
+ * One parsed stsim_serve request frame. The job shape is a strict
+ * superset of a manifest record -- any manifest line is a valid
+ * request -- plus an optional client-chosen "id" echoed in the reply
+ * (default 0), an optional per-request "deadlineMs", and a
+ * {"op":"ping"} health-check form that carries no job.
+ */
+struct ServeRequest
+{
+    bool ping = false;
+    std::uint64_t id = 0;
+    std::uint64_t deadlineMs = 0; ///< 0 = no per-request deadline
+    SimJob job;                   ///< valid only when !ping
+};
+
+/**
+ * Parse a request frame without fataling on hostile input: returns
+ * false and fills @p err on any malformed frame (bad JSON, missing
+ * keys, wrong types -- anything the strict parser or config decoder
+ * rejects). The daemon's front door: garbage must become an error
+ * reply, never a process exit.
+ */
+bool tryParseServeRequest(std::string_view json, ServeRequest &out,
+                          std::string &err);
+
+/**
  * Writer for flat single-line JSON records (string / unsigned-integer
  * fields, no nesting) -- the dispatch journal's record shape. Shares
  * the main serializer's byte conventions (insertion-ordered fields,

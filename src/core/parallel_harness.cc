@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
+#include "core/cancel.hh"
 #include "core/harness.hh"
 #include "core/results_sink.hh"
 #include "core/run_pool.hh"
@@ -13,9 +15,31 @@
 namespace stsim
 {
 
+namespace
+{
+
+/**
+ * Reorder-window size: normally a small multiple of the worker count,
+ * but pinnable via STSIM_REORDER_WINDOW so tests can force the
+ * degenerate window=1 gate and the exact 2*workers boundary.
+ */
+std::size_t
+reorderWindow(std::size_t workers)
+{
+    if (const char *s = std::getenv("STSIM_REORDER_WINDOW")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s, &end, 10);
+        if (end && *end == '\0' && v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    return std::max<std::size_t>(std::size_t{2} * workers, 4);
+}
+
+} // namespace
+
 StreamStats
 runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
-        unsigned workers)
+        unsigned workers, const CancelToken *cancel)
 {
     StreamStats stats;
     if (jobs.empty()) {
@@ -50,8 +74,7 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
     std::size_t next = 0; // commit frontier (submission order)
     std::map<std::size_t, SimResults> pending;
     bool aborted = false; // a job threw: frontier will never advance
-    const std::size_t window =
-        std::max<std::size_t>(std::size_t{2} * pool.workers(), 4);
+    const std::size_t window = reorderWindow(pool.workers());
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool.submit([&, i] {
@@ -64,7 +87,13 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
             }
             SimResults r;
             try {
-                r = Simulator(jobs[i].cfg).run();
+                // The upfront check makes cancellation prompt for jobs
+                // that have not started; the token handed to run()
+                // covers the frontier job, which always holds a
+                // worker, so a fired token always surfaces.
+                if (cancel && cancel->cancelled())
+                    throw JobCancelled();
+                r = Simulator(jobs[i].cfg).run(cancel);
             } catch (...) {
                 // This job's result will never reach `pending`, so the
                 // frontier is stuck: release every gate-blocked worker

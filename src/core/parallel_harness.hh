@@ -22,6 +22,7 @@
 namespace stsim
 {
 
+class CancelToken;
 class ResultsSink;
 
 /** One fully-specified simulation job. */
@@ -56,10 +57,17 @@ struct StreamStats
  * sink.write() calls are serialized and in submission order;
  * sink.flush() runs once after the last write.
  *
+ * When @p cancel is non-null, it is checked before each job starts
+ * and polled inside Simulator::run; a fired token makes the wave
+ * throw JobCancelled out of this call after releasing every
+ * gate-blocked worker (same path as a throwing job or sink). The
+ * reorder window can be pinned with STSIM_REORDER_WINDOW (tests).
+ *
  * @param workers Worker threads; 0 resolves STSIM_JOBS / hardware.
  */
 StreamStats runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
-                    unsigned workers = 0);
+                    unsigned workers = 0,
+                    const CancelToken *cancel = nullptr);
 
 /**
  * Convenience wrapper over the streaming engine for callers that want

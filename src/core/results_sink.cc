@@ -1,10 +1,15 @@
 #include "results_sink.hh"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <ostream>
+
+#include <poll.h>
 
 #include "common/logging.hh"
 #include "core/job_serde.hh"
@@ -13,6 +18,37 @@ namespace stsim
 {
 
 ResultsSink::~ResultsSink() = default;
+
+bool
+stdoutClosedByPeer()
+{
+    struct pollfd p = {1 /* stdout */, POLLOUT, 0};
+    if (::poll(&p, 1, 0) < 0)
+        return false;
+    return (p.revents & (POLLERR | POLLHUP)) != 0;
+}
+
+namespace
+{
+
+/**
+ * A stdout stream failure is usually a vanished consumer (`| head`):
+ * with SIGPIPE ignored the write fails, the stream poisons, and the
+ * right behavior is a quiet, successful exit -- the downstream got
+ * everything it wanted. Anything else stays fatal.
+ */
+[[noreturn]] void
+streamWriteFailed(std::ostream &out, const char *what)
+{
+    if (&out == &std::cout && stdoutClosedByPeer()) {
+        stsim_inform("%s: stdout consumer closed the pipe; exiting",
+                     what);
+        std::exit(0);
+    }
+    stsim_fatal("%s: stream write failed", what);
+}
+
+} // namespace
 
 void
 JsonlResultsSink::write(std::uint64_t index, const SimResults &r)
@@ -25,7 +61,7 @@ JsonlResultsSink::flush()
 {
     out_.flush();
     if (!out_)
-        stsim_fatal("JSONL results sink: stream write failed");
+        streamWriteFailed(out_, "JSONL results sink");
 }
 
 namespace
@@ -160,7 +196,7 @@ CsvResultsSink::flush()
 {
     out_.flush();
     if (!out_)
-        stsim_fatal("CSV results sink: stream write failed");
+        streamWriteFailed(out_, "CSV results sink");
 }
 
 void
@@ -189,7 +225,8 @@ class OwningFileSink : public ResultsSink
     {
         file_.open(path);
         if (!file_)
-            stsim_fatal("cannot open '%s' for writing", path.c_str());
+            stsim_fatal("cannot open '%s' for writing: %s",
+                        path.c_str(), std::strerror(errno));
         if (csv)
             inner_ = std::make_unique<CsvResultsSink>(file_);
         else

@@ -149,6 +149,15 @@ class IndexRemapSink : public ResultsSink
 std::unique_ptr<ResultsSink> openSink(const std::string &path,
                                       const std::string &format = "");
 
+/**
+ * True when stdout is a pipe whose read end has gone away (EPIPE
+ * territory) -- detected via poll(), so no errno is consumed. Lets
+ * `stsim_runner ... | head` treat a failed stdout write as a clean
+ * early exit instead of a fatal, while real write failures (disk
+ * full, I/O error) keep dying loudly.
+ */
+bool stdoutClosedByPeer();
+
 } // namespace stsim
 
 #endif // STSIM_CORE_RESULTS_SINK_HH

@@ -133,11 +133,24 @@ Simulator::Simulator(SimConfig cfg)
 Simulator::~Simulator() = default;
 
 SimResults
-Simulator::run()
+Simulator::run(const CancelToken *cancel)
 {
+    // Poll cadence for cooperative cancellation: every 2048 cycles is
+    // frequent enough that a deadline fires within microseconds of
+    // wall time, and rare enough to be invisible in the profile.
+    constexpr Cycle kCancelPollMask = 2047;
+    auto pollCancel = [&] {
+        if (cancel && (core_->now() & kCancelPollMask) == 0 &&
+            cancel->cancelled()) {
+            throw JobCancelled();
+        }
+    };
+
     // Warmup: trains caches/predictors, then statistics reset.
-    while (core_->stats().committedInsts < cfg_.warmupInstructions)
+    while (core_->stats().committedInsts < cfg_.warmupInstructions) {
         core_->tick();
+        pollCancel();
+    }
     core_->resetStats();
     power_->resetStats();
     bpred_->resetStats();
@@ -150,6 +163,7 @@ Simulator::run()
     Cycle start = core_->now();
     while (core_->stats().committedInsts < cfg_.maxInstructions) {
         core_->tick();
+        pollCancel();
         if (core_->now() - start > max_cycles)
             stsim_panic("simulation ran away: %llu cycles for %llu insts",
                         static_cast<unsigned long long>(core_->now() -

@@ -22,6 +22,7 @@
 #include "bpred/bpred_unit.hh"
 #include "cache/hierarchy.hh"
 #include "confidence/estimator.hh"
+#include "core/cancel.hh"
 #include "core/sim_config.hh"
 #include "core/sim_results.hh"
 #include "pipeline/core.hh"
@@ -42,8 +43,13 @@ class Simulator
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    /** Run warmup + measurement; returns the collected results. */
-    SimResults run();
+    /**
+     * Run warmup + measurement; returns the collected results. When
+     * @p cancel is non-null it is polled every few thousand cycles
+     * (warmup included) and a fired token throws JobCancelled; a null
+     * token costs one never-taken branch per tick.
+     */
+    SimResults run(const CancelToken *cancel = nullptr);
 
     /** Access the core (tests/diagnostics). */
     Core &core() { return *core_; }

@@ -15,7 +15,7 @@
  *   manifest --suite NAME [--insts N] [--warmup N] [--depth D]
  *            [--out FILE]
  *   run      --manifest FILE [--shard I/N] [--jobs W]
- *            [--format jsonl|csv] [--out FILE]
+ *            [--timeout-sec S] [--format jsonl|csv] [--out FILE]
  *   dump     --manifest FILE [--jobs W] [--format jsonl|csv]
  *            [--out FILE]
  *   merge    --out FILE (--manifest FILE | --expect N) [--allow-dups]
@@ -32,6 +32,7 @@
  * up exactly where the journal ends via resume.
  */
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "core/job_serde.hh"
@@ -65,7 +69,8 @@ printUsage(std::FILE *to)
         "  stsim_runner manifest --suite NAME [--insts N] "
         "[--warmup N] [--depth D] [--out FILE]\n"
         "  stsim_runner run --manifest FILE [--shard I/N] "
-        "[--jobs W] [--format jsonl|csv] [--out FILE]\n"
+        "[--jobs W] [--timeout-sec S]\n"
+        "               [--format jsonl|csv] [--out FILE]\n"
         "  stsim_runner dump --manifest FILE [--jobs W] "
         "[--format jsonl|csv] [--out FILE]\n"
         "  stsim_runner merge --out FILE (--manifest FILE | "
@@ -130,18 +135,40 @@ parseU64(const char *s, const char *what)
 class OutFile
 {
   public:
-    explicit OutFile(const std::string &path)
+    explicit OutFile(const std::string &path) : path_(path)
     {
         if (path.empty() || path == "-")
             return;
         file_.open(path);
         if (!file_)
-            stsim_fatal("cannot open '%s' for writing", path.c_str());
+            stsim_fatal("cannot open '%s' for writing: %s",
+                        path.c_str(), std::strerror(errno));
     }
 
     std::ostream &stream() { return file_.is_open() ? file_ : std::cout; }
 
+    /**
+     * Flush and verify. A stdout stream poisoned because the consumer
+     * closed the pipe (`... | head`, SIGPIPE ignored) is a clean early
+     * exit; any other failure is fatal, with the path named.
+     */
+    void
+    finish(const char *what)
+    {
+        stream().flush();
+        if (stream())
+            return;
+        if (!file_.is_open() && stdoutClosedByPeer()) {
+            stsim_inform("%s: stdout consumer closed the pipe; "
+                         "exiting", what);
+            std::exit(0);
+        }
+        stsim_fatal("%s: write to '%s' failed", what,
+                    file_.is_open() ? path_.c_str() : "<stdout>");
+    }
+
   private:
+    std::string path_;
     std::ofstream file_;
 };
 
@@ -183,7 +210,8 @@ readLines(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        stsim_fatal("cannot read '%s'", path.c_str());
+        stsim_fatal("cannot read '%s': %s", path.c_str(),
+                    std::strerror(errno));
     std::vector<std::string> lines;
     std::string line;
     while (std::getline(in, line)) {
@@ -226,14 +254,31 @@ cmdManifest(Args &a)
     }
 
     OutFile out(out_path);
-    for (const SimJob &j : jobs)
+    for (const SimJob &j : jobs) {
         out.stream() << serde::toJson(j) << '\n';
-    out.stream().flush();
-    if (!out.stream())
-        stsim_fatal("manifest write failed (disk full?)");
+        if (!out.stream())
+            break; // poisoned (consumer gone?): finish() decides
+    }
+    out.finish("manifest");
     std::fprintf(stderr, "stsim_runner: %zu jobs (suite %s)\n",
                  jobs.size(), suite.c_str());
     return 0;
+}
+
+/**
+ * Self-watchdog for `run --timeout-sec`: if the shard wedges (a hung
+ * sink, a stuck filesystem), SIGALRM fires and the handler hard-exits
+ * with code 124 -- async-signal-safe (raw write + _exit), so a CI
+ * dispatcher never waits on a zombie shard forever.
+ */
+extern "C" void
+runTimeoutHandler(int)
+{
+    static const char msg[] =
+        "stsim_runner: run timed out (--timeout-sec watchdog)\n";
+    ssize_t n = ::write(2, msg, sizeof msg - 1);
+    (void)n;
+    ::_exit(124);
 }
 
 int
@@ -241,6 +286,7 @@ cmdRunOrDump(Args &a, bool sharded)
 {
     std::string manifest, out_path, format;
     std::uint64_t shard = 0, shards = 1;
+    std::uint64_t timeoutSec = 0;
     unsigned workers = 0;
     for (; a.i < a.argc; ++a.i) {
         if (!std::strcmp(a.argv[a.i], "--manifest"))
@@ -257,6 +303,9 @@ cmdRunOrDump(Args &a, bool sharded)
         } else if (!std::strcmp(a.argv[a.i], "--jobs"))
             workers = static_cast<unsigned>(
                 parseU64(a.need("--jobs"), "--jobs"));
+        else if (sharded && !std::strcmp(a.argv[a.i], "--timeout-sec"))
+            timeoutSec =
+                parseU64(a.need("--timeout-sec"), "--timeout-sec");
         else if (!std::strcmp(a.argv[a.i], "--format"))
             format = a.need("--format");
         else if (!std::strcmp(a.argv[a.i], "--out"))
@@ -266,6 +315,14 @@ cmdRunOrDump(Args &a, bool sharded)
     }
     if (manifest.empty())
         usage("--manifest is required");
+    if (timeoutSec) {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_handler = runTimeoutHandler;
+        sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGALRM, &sa, nullptr);
+        ::alarm(static_cast<unsigned>(timeoutSec));
+    }
 
     std::vector<std::string> lines = readLines(manifest);
     if (lines.empty())
@@ -390,7 +447,8 @@ cmdMerge(Args &a)
     for (std::size_t c = 0; c < inputs.size(); ++c) {
         cursors[c].in.open(inputs[c]);
         if (!cursors[c].in)
-            stsim_fatal("cannot read '%s'", inputs[c].c_str());
+            stsim_fatal("cannot read '%s': %s", inputs[c].c_str(),
+                        std::strerror(errno));
         advance(c);
     }
 
@@ -439,6 +497,12 @@ cmdMerge(Args &a)
                         static_cast<unsigned long long>(want));
         lastEmitted = cursors[min_c].line;
         out.stream() << lastEmitted << '\n';
+        if (!out.stream()) {
+            // Either a vanished stdout consumer (clean exit 0 inside
+            // finish) or a real write failure (fatal) -- but never a
+            // truncated merge passed off as complete.
+            out.finish("merge");
+        }
         ++want;
         advance(min_c);
     }
@@ -449,9 +513,7 @@ cmdMerge(Args &a)
     }
     if (want == 0)
         stsim_fatal("merge: shard files hold no records");
-    out.stream().flush();
-    if (!out.stream())
-        stsim_fatal("merge: output write failed");
+    out.finish("merge");
     std::fprintf(stderr,
                  "stsim_runner: merged %llu results from %zu "
                  "shard files (%llu duplicate record(s) verified "
@@ -516,6 +578,11 @@ cmdDispatchOrResume(Args &a, bool isResume)
 int
 main(int argc, char **argv)
 {
+    // Piping `manifest`/`merge`/`dump` output into `head` must not
+    // kill the process with SIGPIPE: ignore it and let writes fail
+    // with EPIPE, which the stream paths turn into a clean exit 0.
+    ::signal(SIGPIPE, SIG_IGN);
+
     if (argc < 2)
         usage();
     Args a{argc, argv};

@@ -75,8 +75,9 @@ DispatchJournal::DispatchJournal(const std::string &path) : path_(path)
                                                 std::ios::app);
                     fix << '\n';
                     if (!fix.flush())
-                        stsim_fatal("journal: cannot repair '%s'",
-                                    path.c_str());
+                        stsim_fatal("journal: cannot repair '%s' (%s)",
+                                    path.c_str(),
+                                    std::strerror(errno));
                 } else {
                     stsim_warn("journal: truncating torn tail of "
                                "'%s' (%zu -> %zu bytes)",
@@ -196,7 +197,8 @@ DispatchJournal::replay(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        stsim_fatal("journal: cannot read '%s'", path.c_str());
+        stsim_fatal("journal: cannot read '%s' (%s)", path.c_str(),
+                    std::strerror(errno));
     std::ostringstream whole;
     whole << in.rdbuf();
     const std::string text = whole.str();

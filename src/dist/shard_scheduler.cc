@@ -29,8 +29,8 @@ filesIdentical(const std::string &a, const std::string &b)
 {
     std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
     if (!fa || !fb)
-        stsim_fatal("dispatch: cannot compare '%s' and '%s'",
-                    a.c_str(), b.c_str());
+        stsim_fatal("dispatch: cannot compare '%s' and '%s' (%s)",
+                    a.c_str(), b.c_str(), std::strerror(errno));
     char ba[1 << 16], bb[1 << 16];
     for (;;) {
         fa.read(ba, sizeof ba);
@@ -61,7 +61,8 @@ countRecords(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        stsim_fatal("dispatch: cannot read '%s'", path.c_str());
+        stsim_fatal("dispatch: cannot read '%s' (%s)", path.c_str(),
+                    std::strerror(errno));
     std::uint64_t n = 0;
     std::string line;
     while (std::getline(in, line))
@@ -75,7 +76,8 @@ manifestFingerprint(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        stsim_fatal("dispatch: cannot read '%s'", path.c_str());
+        stsim_fatal("dispatch: cannot read '%s' (%s)", path.c_str(),
+                    std::strerror(errno));
     std::uint64_t h = 14695981039346656037ull; // FNV-1a 64 offset
     char buf[1 << 16];
     for (;;) {

@@ -1,0 +1,204 @@
+#include "net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace stsim
+{
+namespace serve
+{
+
+namespace
+{
+
+std::string
+errnoStr()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        stsim_fatal("serve: unix socket path too long: '%s'",
+                    path.c_str());
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        stsim_fatal("serve: socket: %s", errnoStr().c_str());
+    // A stale socket file from a previous run would make bind fail
+    // with EADDRINUSE even though nobody is listening.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0)
+        stsim_fatal("serve: bind '%s': %s", path.c_str(),
+                    errnoStr().c_str());
+    if (::listen(fd, 128) < 0)
+        stsim_fatal("serve: listen '%s': %s", path.c_str(),
+                    errnoStr().c_str());
+    return fd;
+}
+
+int
+listenTcp(int port, int *boundPort)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        stsim_fatal("serve: socket: %s", errnoStr().c_str());
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0)
+        stsim_fatal("serve: bind 127.0.0.1:%d: %s", port,
+                    errnoStr().c_str());
+    if (::listen(fd, 128) < 0)
+        stsim_fatal("serve: listen 127.0.0.1:%d: %s", port,
+                    errnoStr().c_str());
+    if (boundPort) {
+        sockaddr_in got{};
+        socklen_t len = sizeof got;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&got),
+                          &len) < 0) {
+            stsim_fatal("serve: getsockname: %s", errnoStr().c_str());
+        }
+        *boundPort = ntohs(got.sin_port);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        if (err)
+            *err = "unix socket path too long";
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (err)
+            *err = "socket: " + errnoStr();
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        if (err)
+            *err = "connect '" + path + "': " + errnoStr();
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(int port, std::string *err)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (err)
+            *err = "socket: " + errnoStr();
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        if (err)
+            *err = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+                   errnoStr();
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view data, std::string *err)
+{
+    while (!data.empty()) {
+        ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "send: " + errnoStr();
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+LineStatus
+LineReader::next(std::string &line)
+{
+    for (;;) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            if (discarding_ || nl > maxLine_) {
+                // Tail of an over-cap line -- or a whole over-cap line
+                // that arrived in one read: drop it and resume normal
+                // framing at the byte after the newline.
+                buf_.erase(0, nl + 1);
+                discarding_ = false;
+                return LineStatus::Overflow;
+            }
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return LineStatus::Line;
+        }
+        if (buf_.size() > maxLine_) {
+            // No newline yet and already over the cap: stop buffering,
+            // discard until the line finally terminates.
+            buf_.clear();
+            discarding_ = true;
+        }
+
+        char chunk[65536];
+        ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return LineStatus::Error;
+        }
+        if (n == 0)
+            return LineStatus::Eof;
+        if (discarding_) {
+            // Keep only bytes past a newline, if one arrived.
+            const char *p = static_cast<const char *>(
+                ::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+            if (p) {
+                discarding_ = false;
+                buf_.assign(p + 1, static_cast<std::size_t>(
+                                       chunk + n - (p + 1)));
+                return LineStatus::Overflow;
+            }
+            continue;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace serve
+} // namespace stsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small POSIX socket helpers shared by the stsim_serve daemon, the
+ * stsim_loadgen client, and the serve tests: listen/connect over Unix
+ * or loopback TCP, EINTR-correct SIGPIPE-free sends, and a bounded
+ * buffered line reader for the JSONL framing.
+ */
+
+#ifndef STSIM_SERVE_NET_HH
+#define STSIM_SERVE_NET_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace stsim
+{
+namespace serve
+{
+
+/**
+ * Bind+listen on a Unix stream socket at @p path (any stale socket
+ * file is unlinked first). Returns the listening fd; fatals with
+ * strerror on failure.
+ */
+int listenUnix(const std::string &path);
+
+/**
+ * Bind+listen on loopback TCP @p port (0 = ephemeral). The resolved
+ * port is stored through @p boundPort. Fatals with strerror.
+ */
+int listenTcp(int port, int *boundPort);
+
+/** Connect to a Unix socket; returns -1 with @p err set on failure. */
+int connectUnix(const std::string &path, std::string *err);
+
+/** Connect to loopback TCP; returns -1 with @p err set on failure. */
+int connectTcp(int port, std::string *err);
+
+/**
+ * Write all of @p data. Uses send(MSG_NOSIGNAL) so a vanished peer
+ * yields EPIPE instead of SIGPIPE; retries EINTR. Returns false on
+ * any other failure (peer gone, timeout) with @p err describing it.
+ */
+bool sendAll(int fd, std::string_view data, std::string *err);
+
+/** Result of one LineReader::next() call. */
+enum class LineStatus
+{
+    Line,     ///< a complete '\n'-terminated line was produced
+    Eof,      ///< orderly shutdown; check leftover() for a torn tail
+    Error,    ///< read error (peer reset, bad fd)
+    Overflow, ///< line exceeded the cap; oversized bytes were discarded
+};
+
+/**
+ * Buffered reader that frames a byte stream into '\n'-terminated
+ * lines, holding at most @p maxLine bytes of any one line. A line
+ * longer than the cap is discarded through its terminating newline
+ * and reported once as Overflow, so a hostile client cannot balloon
+ * server memory and framing stays intact afterwards.
+ */
+class LineReader
+{
+  public:
+    LineReader(int fd, std::size_t maxLine)
+        : fd_(fd), maxLine_(maxLine)
+    {
+    }
+
+    /** Produce the next line (without its '\n') into @p line. */
+    LineStatus next(std::string &line);
+
+    /** Unterminated bytes left at EOF (a torn final frame). */
+    const std::string &leftover() const { return buf_; }
+
+  private:
+    int fd_;
+    std::size_t maxLine_;
+    std::string buf_;
+    bool discarding_ = false; ///< inside an over-cap line
+};
+
+} // namespace serve
+} // namespace stsim
+
+#endif // STSIM_SERVE_NET_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * stsim_serve: long-lived simulation daemon. Listens on a Unix or
+ * loopback-TCP socket, serves SimJob requests (JSONL frames, see
+ * serve/server.hh for the wire protocol), and drains gracefully on
+ * SIGTERM/SIGINT: stop accepting, finish or cancel in-flight work by
+ * its deadline, exit 0.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <signal.h>
+
+#include "common/logging.hh"
+#include "serve/server.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+int
+usage(FILE *to)
+{
+    std::fprintf(to,
+"usage: stsim_serve (--unix PATH | --tcp PORT) [options]\n"
+"\n"
+"Serve SimJob requests as JSONL frames; one JSON object per line each\n"
+"way. See README 'Serving' for the wire format and error replies.\n"
+"\n"
+"options:\n"
+"  --unix PATH             listen on a Unix stream socket\n"
+"  --tcp PORT              listen on 127.0.0.1:PORT (0 = ephemeral;\n"
+"                          the bound port is printed on stderr)\n"
+"  --jobs N                simulation worker threads (default: STSIM_JOBS\n"
+"                          or hardware concurrency)\n"
+"  --queue N               admission queue capacity: admitted but\n"
+"                          unfinished requests (default 2*jobs+4);\n"
+"                          overload => immediate {\"error\":\"busy\"}\n"
+"  --default-deadline-ms D deadline for requests that carry none (0 =\n"
+"                          unlimited, the default)\n"
+"  --max-deadline-ms D     clamp every request's deadline (0 = no clamp)\n"
+"  --drain-grace-ms D      on SIGTERM, cancel whatever is still running\n"
+"                          this long after the drain starts (default\n"
+"                          10000)\n"
+"  --max-line-bytes B      request frame size cap (default 1048576)\n"
+"  --reply-buffer N        buffered replies per connection before the\n"
+"                          reader blocks (default 64)\n"
+"  --max-conns N           connection cap (default 256)\n"
+"  --max-insts N           per-job instruction cap, warmup and measured\n"
+"                          each (default 1000000000; 0 = unlimited)\n");
+    return to == stdout ? 0 : 2;
+}
+
+std::uint64_t
+parseU64(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0' || s[0] == '\0' || s[0] == '-')
+        stsim_fatal("serve: bad value for %s: '%s'", flag, s);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+
+    serve::ServeOptions opts;
+    bool haveAddr = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc)
+                stsim_fatal("serve: %s needs a value", a);
+            return argv[++i];
+        };
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h") ||
+            !std::strcmp(a, "help")) {
+            return usage(stdout);
+        } else if (!std::strcmp(a, "--unix")) {
+            opts.unixPath = val();
+            haveAddr = true;
+        } else if (!std::strcmp(a, "--tcp")) {
+            opts.tcpPort = static_cast<int>(parseU64(a, val()));
+            haveAddr = true;
+        } else if (!std::strcmp(a, "--jobs")) {
+            opts.workers = static_cast<unsigned>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--queue")) {
+            opts.queueCapacity =
+                static_cast<std::size_t>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--default-deadline-ms")) {
+            opts.defaultDeadlineMs = parseU64(a, val());
+        } else if (!std::strcmp(a, "--max-deadline-ms")) {
+            opts.maxDeadlineMs = parseU64(a, val());
+        } else if (!std::strcmp(a, "--drain-grace-ms")) {
+            opts.drainGraceMs = parseU64(a, val());
+        } else if (!std::strcmp(a, "--max-line-bytes")) {
+            opts.maxLineBytes =
+                static_cast<std::size_t>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--reply-buffer")) {
+            opts.replyQueueCap =
+                static_cast<std::size_t>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--max-conns")) {
+            opts.maxConnections =
+                static_cast<std::size_t>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--max-insts")) {
+            opts.maxJobInstructions = parseU64(a, val());
+        } else {
+            std::fprintf(stderr, "serve: unknown argument '%s'\n", a);
+            return usage(stderr);
+        }
+    }
+    if (!haveAddr)
+        return usage(stderr);
+
+    // Block the shutdown signals in every thread (the server's threads
+    // inherit this mask), then field them synchronously below.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    serve::SimServer server(opts);
+    server.start();
+    if (!opts.unixPath.empty())
+        stsim_inform("stsim_serve: listening on unix:%s",
+                     opts.unixPath.c_str());
+    else
+        stsim_inform("stsim_serve: listening on 127.0.0.1:%d",
+                     server.tcpPort());
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    stsim_inform("stsim_serve: %s received, draining "
+                 "(grace %llu ms)...",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT",
+                 static_cast<unsigned long long>(opts.drainGraceMs));
+    server.beginDrain();
+    server.waitDrained();
+
+    const serve::ServeStats &s = server.stats();
+    stsim_inform(
+        "stsim_serve: drained; conns=%llu (rejected %llu) "
+        "requests=%llu completed=%llu busy=%llu parse=%llu "
+        "oversize=%llu bad=%llu deadline=%llu disconnect=%llu "
+        "drain-cancelled=%llu",
+        static_cast<unsigned long long>(s.connections.load()),
+        static_cast<unsigned long long>(s.rejectedConnections.load()),
+        static_cast<unsigned long long>(s.requests.load()),
+        static_cast<unsigned long long>(s.completed.load()),
+        static_cast<unsigned long long>(s.busy.load()),
+        static_cast<unsigned long long>(s.parseErrors.load()),
+        static_cast<unsigned long long>(s.oversize.load()),
+        static_cast<unsigned long long>(s.badRequests.load()),
+        static_cast<unsigned long long>(s.deadlineCancelled.load()),
+        static_cast<unsigned long long>(s.disconnectCancelled.load()),
+        static_cast<unsigned long long>(s.drainCancelled.load()));
+    return 0;
+}

@@ -8,11 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "core/cancel.hh"
 #include "core/harness.hh"
 #include "core/parallel_harness.hh"
+#include "core/results_sink.hh"
 #include "core/run_pool.hh"
 #include "core/simulator.hh"
 
@@ -214,4 +219,143 @@ TEST(AverageMetrics, RejectsAverageOnlyInput)
     std::vector<std::pair<std::string, RelativeMetrics>> rows;
     rows.emplace_back("Average", RelativeMetrics{});
     EXPECT_DEATH(averageMetrics(rows), "no rows to average");
+}
+
+//
+// runJobs abort and cancellation paths. The deadlock hazard in all of
+// these is the reorder gate: when a job or the sink throws, the commit
+// frontier is stuck forever, so every gate-blocked worker must be
+// released or pool.wait() would hang instead of rethrowing. Running
+// them under TSan (tier-1 CI) is the point.
+//
+
+namespace
+{
+
+/** Pins STSIM_REORDER_WINDOW for one test, restoring on scope exit. */
+struct ScopedEnv
+{
+    const char *name;
+
+    ScopedEnv(const char *n, const char *v) : name(n)
+    {
+        setenv(n, v, 1);
+    }
+
+    ~ScopedEnv() { unsetenv(name); }
+};
+
+struct CountingSink : ResultsSink
+{
+    std::atomic<int> writes{0};
+
+    void
+    write(std::uint64_t, const SimResults &) override
+    {
+        ++writes;
+    }
+};
+
+/** Throws out of the serialized commit path at a chosen index. */
+struct ThrowAtSink : ResultsSink
+{
+    explicit ThrowAtSink(std::uint64_t at) : at_(at) {}
+
+    void
+    write(std::uint64_t index, const SimResults &) override
+    {
+        if (index == at_)
+            throw std::runtime_error("sink failure");
+    }
+
+    std::uint64_t at_;
+};
+
+std::vector<SimJob>
+tinyJobs(std::size_t n, std::uint64_t insts = 8'000)
+{
+    std::vector<SimJob> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+        SimJob j;
+        j.cfg = tinyConfig();
+        j.cfg.maxInstructions = insts;
+        j.cfg.benchmark = "go";
+        Experiment::byName("baseline").applyTo(j.cfg);
+        j.experiment = "baseline";
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(RunJobsAbort, ThrowingSinkReleasesWorkersAtWindowOne)
+{
+    // Window 1 is the degenerate gate: every non-frontier worker is
+    // blocked, so a throwing sink exercises the full release path.
+    ScopedEnv env("STSIM_REORDER_WINDOW", "1");
+    ThrowAtSink sink(1);
+    EXPECT_THROW(runJobs(tinyJobs(8), sink, 4), std::runtime_error);
+}
+
+TEST(RunJobsAbort, ThrowingSinkReleasesWorkersAtWindowTwiceWorkers)
+{
+    // The production window (2*workers): workers run ahead, results
+    // pile into `pending`, and the abort lands mid-drain.
+    ScopedEnv env("STSIM_REORDER_WINDOW", "8");
+    ThrowAtSink sink(2);
+    EXPECT_THROW(runJobs(tinyJobs(12), sink, 4), std::runtime_error);
+}
+
+TEST(RunJobsAbort, PreCancelledTokenThrowsBeforeAnyCommit)
+{
+    CancelToken token;
+    token.cancel();
+    CountingSink sink;
+    EXPECT_THROW(runJobs(tinyJobs(6), sink, 2, &token), JobCancelled);
+    EXPECT_EQ(sink.writes.load(), 0);
+}
+
+TEST(RunJobsAbort, CancelReleasesGateBlockedWorkers)
+{
+    // Long jobs + window 1: the frontier job holds a worker and polls
+    // the token; everyone else is gate-blocked. Firing the token
+    // mid-run must surface JobCancelled promptly -- if the blocked
+    // workers were not released this test would hang, not fail.
+    ScopedEnv env("STSIM_REORDER_WINDOW", "1");
+    std::vector<SimJob> jobs = tinyJobs(8, 50'000'000);
+    CancelToken token;
+    CountingSink sink;
+    std::thread firer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        token.cancel();
+    });
+    EXPECT_THROW(runJobs(jobs, sink, 4, &token), JobCancelled);
+    firer.join();
+}
+
+TEST(RunJobsAbort, NullTokenAndUnfiredTokenAreHarmless)
+{
+    // An unfired token must not perturb results: bitwise identical to
+    // the no-token path (the poll is a never-taken branch).
+    CancelToken token;
+    std::vector<SimJob> jobs = tinyJobs(2);
+    std::vector<SimResults> plain(jobs.size()), tokened(jobs.size());
+    {
+        struct VecSink : ResultsSink
+        {
+            std::vector<SimResults> &out;
+            explicit VecSink(std::vector<SimResults> &o) : out(o) {}
+            void
+            write(std::uint64_t i, const SimResults &r) override
+            {
+                out[i] = r;
+            }
+        };
+        VecSink a(plain), b(tokened);
+        runJobs(jobs, a, 2, nullptr);
+        runJobs(jobs, b, 2, &token);
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectSameResults(plain[i], tokened[i]);
 }

@@ -230,3 +230,64 @@ TEST(MergeDups, DifferingDuplicateIsFatal)
               std::string::npos)
         << r.output;
 }
+
+TEST(SigPipe, MergePipedIntoHeadExitsZero)
+{
+    // ~200KB of records overflows the 64KB pipe buffer, so the merge
+    // is still writing when `head` exits: the write fails with EPIPE
+    // (SIGPIPE is ignored) and the runner must treat a vanished stdout
+    // consumer as a clean, successful early exit.
+    TempDir tmp;
+    std::string content;
+    for (int i = 0; i < 5000; ++i)
+        content += rec(i);
+    std::string a = tmp.file("a.jsonl", content);
+    CmdResult r = run("bash -c '\"" STSIM_RUNNER_PATH "\" merge "
+                      "--expect 5000 --out - \"" + a + "\" 2>/dev/null "
+                      "| head -c 64 >/dev/null; "
+                      "exit ${PIPESTATUS[0]}'");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(SigPipe, ManifestPipedIntoHeadExitsZero)
+{
+    CmdResult r = run("bash -c '\"" STSIM_RUNNER_PATH "\" manifest "
+                      "--suite golden 2>/dev/null "
+                      "| head -n 1 >/dev/null; "
+                      "exit ${PIPESTATUS[0]}'");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(RunTimeout, WatchdogExits124WhenAShardWedges)
+{
+    // The hang hook stalls the shard after its first committed record
+    // -- exactly the wedge --timeout-sec exists for. The watchdog must
+    // fire, name itself, and exit 124 (the `timeout(1)` convention).
+    TempDir tmp;
+    std::string manifest = tmp.path + "/m.jsonl";
+    CmdResult m = run(runner() + " manifest --suite golden "
+                      "--insts 2000 --warmup 500 --out '" + manifest +
+                      "' 2>&1");
+    ASSERT_EQ(m.exitCode, 0) << m.output;
+
+    CmdResult r = run("STSIM_TEST_HANG_AFTER_FIRST_RECORD=1 '" +
+                      runner() + "' run --manifest '" + manifest +
+                      "' --shard 0/4 --jobs 2 --timeout-sec 1 "
+                      "--out '" + tmp.path + "/s0.jsonl' "
+                      "2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 124) << r.output;
+    EXPECT_NE(r.output.find("timed out (--timeout-sec watchdog)"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(RunTimeout, FlagIsRejectedOutsideShardedRun)
+{
+    // dump is the in-process oracle; it takes no watchdog.
+    CmdResult r = run(runner() + " dump --manifest /dev/null "
+                      "--timeout-sec 1 2>&1 >/dev/null");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("unknown flag --timeout-sec"),
+              std::string::npos)
+        << r.output;
+}

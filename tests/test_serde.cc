@@ -231,3 +231,69 @@ TEST(SerdeDeath, MalformedInputIsFatal)
     EXPECT_EXIT(serde::doubleFromHex("bogus"),
                 ::testing::ExitedWithCode(1), "bad double");
 }
+
+TEST(ServeRequestSerde, ManifestRecordParsesWithDefaults)
+{
+    // A plain manifest line is a valid request: id and deadline
+    // default to 0, and the embedded job round-trips intact.
+    SimJob j;
+    j.cfg.maxInstructions = 8'000;
+    j.cfg.benchmark = "go";
+    Experiment::byName("baseline").applyTo(j.cfg);
+    j.experiment = "baseline";
+
+    serde::ServeRequest req;
+    std::string err;
+    ASSERT_TRUE(serde::tryParseServeRequest(serde::toJson(j), req, err))
+        << err;
+    EXPECT_FALSE(req.ping);
+    EXPECT_EQ(req.id, 0u);
+    EXPECT_EQ(req.deadlineMs, 0u);
+    EXPECT_EQ(req.job.experiment, "baseline");
+    EXPECT_EQ(req.job.cfg.benchmark, "go");
+    EXPECT_EQ(req.job.cfg.maxInstructions, 8'000u);
+}
+
+TEST(ServeRequestSerde, IdDeadlineAndPingAreExtracted)
+{
+    SimJob j;
+    j.cfg.benchmark = "go";
+    Experiment::byName("baseline").applyTo(j.cfg);
+    j.experiment = "baseline";
+    std::string rec = serde::toJson(j);
+    std::string framed =
+        "{\"id\":7,\"deadlineMs\":250," + rec.substr(1);
+
+    serde::ServeRequest req;
+    std::string err;
+    ASSERT_TRUE(serde::tryParseServeRequest(framed, req, err)) << err;
+    EXPECT_FALSE(req.ping);
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.deadlineMs, 250u);
+
+    serde::ServeRequest ping;
+    ASSERT_TRUE(serde::tryParseServeRequest("{\"op\":\"ping\",\"id\":3}",
+                                            ping, err))
+        << err;
+    EXPECT_TRUE(ping.ping);
+    EXPECT_EQ(ping.id, 3u);
+}
+
+TEST(ServeRequestSerde, GarbageReturnsFalseInsteadOfExiting)
+{
+    // The whole point of the non-fatal entry point: hostile frames
+    // must produce (false, message), never a process exit. Every
+    // rejection leaves a non-empty diagnostic.
+    serde::ServeRequest req;
+    std::string err;
+    for (const char *bad :
+         {"", "not json at all", "[1,2,3]", "{\"experiment\":\"x\"}",
+          "{\"op\":\"reboot\"}",
+          "{\"experiment\":\"baseline\",\"cfg\":{}}",
+          "{\"id\":\"seven\",\"experiment\":\"x\",\"cfg\":{}}"}) {
+        err.clear();
+        EXPECT_FALSE(serde::tryParseServeRequest(bad, req, err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << "no diagnostic for: " << bad;
+    }
+}
