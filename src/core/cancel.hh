@@ -31,13 +31,17 @@ class CancelToken
     void
     cancel()
     {
-        cancelled_.store(true, std::memory_order_relaxed);
+        // Release/acquire pairing: a canceller records *why* (e.g. the
+        // server's cancelReason CAS) before firing the token, and the
+        // observer reads that reason after seeing cancelled()==true.
+        // The cost is noise at the multi-thousand-cycle poll cadence.
+        cancelled_.store(true, std::memory_order_release);
     }
 
     bool
     cancelled() const
     {
-        return cancelled_.load(std::memory_order_relaxed);
+        return cancelled_.load(std::memory_order_acquire);
     }
 
   private:

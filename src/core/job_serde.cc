@@ -172,14 +172,28 @@ class Parser
         }
     }
 
+    // The parser (and JVal's destructor) recurse per nesting level; a
+    // hostile frame of '['/'{"a":' repeated would otherwise overflow
+    // the stack, which FatalCaptureScope cannot catch. Real records
+    // nest ~5 levels, so 64 is generous.
+    void
+    enterNested()
+    {
+        if (++depth_ > kMaxDepth)
+            stsim_fatal("serde: JSON nested deeper than %zu levels",
+                        kMaxDepth);
+    }
+
     JVal
     object()
     {
         expect('{');
+        enterNested();
         JVal v;
         v.kind = JVal::Kind::Obj;
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return v;
         }
         for (;;) {
@@ -191,6 +205,7 @@ class Parser
                 continue;
             }
             expect('}');
+            --depth_;
             return v;
         }
     }
@@ -199,10 +214,12 @@ class Parser
     array()
     {
         expect('[');
+        enterNested();
         JVal v;
         v.kind = JVal::Kind::Arr;
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return v;
         }
         for (;;) {
@@ -212,6 +229,7 @@ class Parser
                 continue;
             }
             expect(']');
+            --depth_;
             return v;
         }
     }
@@ -294,8 +312,11 @@ class Parser
         return v;
     }
 
+    static constexpr std::size_t kMaxDepth = 64;
+
     std::string_view s_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -110,6 +110,12 @@ SimServer::~SimServer()
 void
 SimServer::start()
 {
+    // A zero cap deadlocks every connection (the reply-slot predicate
+    // can never hold) or rejects every frame as oversize; fail loudly
+    // instead. The CLI rejects these too; this covers embedders.
+    if (!opts_.replyQueueCap || !opts_.maxLineBytes)
+        stsim_fatal("serve: replyQueueCap and maxLineBytes must be "
+                    "positive");
     if (!opts_.unixPath.empty())
         listenFd_ = listenUnix(opts_.unixPath);
     else if (opts_.tcpPort >= 0)
@@ -484,6 +490,11 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
     if (opts_.maxDeadlineMs)
         dl = dl ? std::min(dl, opts_.maxDeadlineMs)
                 : opts_.maxDeadlineMs;
+    // Saturate at ~10 years: now() + milliseconds(2^64-ish) overflows
+    // the signed chrono rep (UB) and wraps the deadline into the past,
+    // instantly cancelling the job as "deadline expired".
+    constexpr std::uint64_t kDeadlineCeilingMs = 315'360'000'000;
+    dl = std::min(dl, kDeadlineCeilingMs);
     if (dl) {
         inf->hasDeadline = true;
         inf->deadline = std::chrono::steady_clock::now() +

@@ -102,11 +102,18 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--drain-grace-ms")) {
             opts.drainGraceMs = parseU64(a, val());
         } else if (!std::strcmp(a, "--max-line-bytes")) {
+            // 0 would make every frame oversize; reject it up front.
             opts.maxLineBytes =
                 static_cast<std::size_t>(parseU64(a, val()));
+            if (!opts.maxLineBytes)
+                stsim_fatal("serve: %s must be positive", a);
         } else if (!std::strcmp(a, "--reply-buffer")) {
+            // 0 makes the reply-slot predicate unsatisfiable and
+            // deadlocks every connection; reject it up front.
             opts.replyQueueCap =
                 static_cast<std::size_t>(parseU64(a, val()));
+            if (!opts.replyQueueCap)
+                stsim_fatal("serve: %s must be positive", a);
         } else if (!std::strcmp(a, "--max-conns")) {
             opts.maxConnections =
                 static_cast<std::size_t>(parseU64(a, val()));

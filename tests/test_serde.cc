@@ -279,6 +279,38 @@ TEST(ServeRequestSerde, IdDeadlineAndPingAreExtracted)
     EXPECT_EQ(ping.id, 3u);
 }
 
+TEST(ServeRequestSerde, DeeplyNestedFrameIsRejectedNotACrash)
+{
+    // The strict parser recurses per nesting level; without a depth
+    // cap a ~100KB frame of '[' (well under the line-size cap) would
+    // overflow the reader thread's stack -- a SIGSEGV that
+    // FatalCaptureScope cannot catch. It must come back as a plain
+    // parse error instead.
+    serde::ServeRequest req;
+    std::string err;
+
+    std::string arrays(100'000, '[');
+    EXPECT_FALSE(serde::tryParseServeRequest(arrays, req, err));
+    EXPECT_NE(err.find("nested"), std::string::npos) << err;
+
+    std::string objects;
+    for (int i = 0; i < 50'000; ++i)
+        objects += "{\"a\":";
+    err.clear();
+    EXPECT_FALSE(serde::tryParseServeRequest(objects, req, err));
+    EXPECT_NE(err.find("nested"), std::string::npos) << err;
+
+    // Sanity: realistic nesting (a full request is ~5 levels deep) is
+    // nowhere near the cap.
+    SimJob j;
+    j.cfg.benchmark = "go";
+    Experiment::byName("baseline").applyTo(j.cfg);
+    j.experiment = "baseline";
+    err.clear();
+    EXPECT_TRUE(serde::tryParseServeRequest(serde::toJson(j), req, err))
+        << err;
+}
+
 TEST(ServeRequestSerde, GarbageReturnsFalseInsteadOfExiting)
 {
     // The whole point of the non-fatal entry point: hostile frames

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -314,6 +315,31 @@ TEST(Serve, DeadlineCancelsLongJob)
     server.beginDrain();
     server.waitDrained();
     EXPECT_EQ(server.stats().deadlineCancelled.load(), 1u);
+}
+
+TEST(Serve, AbsurdDeadlineIsSaturatedNotWrapped)
+{
+    // deadlineMs = 2^64-1: unsaturated, now() + milliseconds(dl)
+    // overflows the signed chrono rep and wraps the deadline into the
+    // past, instantly cancelling the job as "deadline expired". It
+    // must behave like "no meaningful deadline" and just complete.
+    TempDir dir;
+    serve::ServeOptions opts;
+    opts.unixPath = dir.sock();
+    opts.workers = 1;
+    serve::SimServer server(opts);
+    server.start();
+
+    Client c(dir.sock());
+    c.send(requestFrame(tinyJob(), 21,
+                        /*deadlineMs=*/UINT64_MAX));
+    std::string reply = c.readLine();
+    EXPECT_TRUE(startsWith(reply, "{\"index\":21,")) << reply;
+
+    server.beginDrain();
+    server.waitDrained();
+    EXPECT_EQ(server.stats().completed.load(), 1u);
+    EXPECT_EQ(server.stats().deadlineCancelled.load(), 0u);
 }
 
 TEST(Serve, DrainRejectsNewWorkAnswersInFlightAndCompletes)
