@@ -49,9 +49,12 @@ fi
 
 if [[ "${serve_mode}" == 1 ]]; then
     # Serve throughput: a short closed-loop load against a live
-    # daemon over a Unix socket, recorded as BENCH_serve.json. The
-    # daemon is SIGTERMed afterwards and must drain to exit 0 -- a
-    # bench run that leaves a wedged server is a failed bench run.
+    # daemon over a Unix socket, recorded as BENCH_serve.json (one
+    # JSONL row for the in-process thread pool, one for the
+    # process-isolated --isolate fleet, so the isolation overhead has
+    # a recorded trajectory). Each daemon is SIGTERMed afterwards and
+    # must drain to exit 0 -- a bench run that leaves a wedged server
+    # is a failed bench run.
     tmp="$(mktemp -d)"
     server_pid=
     cleanup() {
@@ -62,24 +65,39 @@ if [[ "${serve_mode}" == 1 ]]; then
         rm -rf "${tmp}"
     }
     trap cleanup EXIT
-    sock="${tmp}/serve.sock"
 
     "${build_dir}/stsim_runner" manifest --suite golden \
         --insts 3000 --warmup 500 --out "${tmp}/manifest.jsonl"
-    "${build_dir}/stsim_serve" --unix "${sock}" \
-        2> "${tmp}/server.log" &
-    server_pid=$!
-    "${build_dir}/stsim_loadgen" ping --unix "${sock}" --tries 100
-    "${build_dir}/stsim_loadgen" bench --unix "${sock}" \
-        --manifest "${tmp}/manifest.jsonl" \
-        --clients 4 --duration-sec 5 --json BENCH_serve.json "$@"
-    kill -TERM "${server_pid}"
-    if ! wait "${server_pid}"; then
-        echo "error: stsim_serve did not drain cleanly; log:" >&2
-        cat "${tmp}/server.log" >&2
-        exit 1
-    fi
-    server_pid=
+
+    # bench_row LABEL OUT [extra serve args...]
+    bench_row() {
+        local label="$1" out="$2"
+        shift 2
+        local sock="${tmp}/serve-${label}.sock"
+        "${build_dir}/stsim_serve" --unix "${sock}" "$@" \
+            2> "${tmp}/server-${label}.log" &
+        server_pid=$!
+        "${build_dir}/stsim_loadgen" ping --unix "${sock}" --tries 100
+        "${build_dir}/stsim_loadgen" bench --unix "${sock}" \
+            --manifest "${tmp}/manifest.jsonl" \
+            --clients 4 --duration-sec 5 \
+            --label "${label}" --json "${out}" "${loadgen_args[@]}"
+        kill -TERM "${server_pid}"
+        if ! wait "${server_pid}"; then
+            echo "error: stsim_serve (${label}) did not drain" >&2
+            echo "cleanly; log:" >&2
+            cat "${tmp}/server-${label}.log" >&2
+            exit 1
+        fi
+        server_pid=
+    }
+
+    loadgen_args=("$@")
+    bench_row stsim_serve_loadgen "${tmp}/row-inproc.json"
+    bench_row stsim_serve_loadgen_isolate "${tmp}/row-isolate.json" \
+        --isolate
+    cat "${tmp}/row-inproc.json" "${tmp}/row-isolate.json" \
+        > BENCH_serve.json
     echo "wrote BENCH_serve.json"
     exit 0
 fi

@@ -1232,12 +1232,16 @@ tryParseServeRequest(std::string_view json, ServeRequest &out,
         if (const JVal *id = v.find("id"))
             out.id = id->asU64();
         if (const JVal *op = v.find("op")) {
-            if (op->asStr() != "ping") {
-                err = "unknown op '" + op->asStr() + "'";
-                return false;
+            if (op->asStr() == "ping") {
+                out.ping = true;
+                return true;
             }
-            out.ping = true;
-            return true;
+            if (op->asStr() == "health") {
+                out.health = true;
+                return true;
+            }
+            err = "unknown op '" + op->asStr() + "'";
+            return false;
         }
         if (const JVal *dl = v.find("deadlineMs"))
             out.deadlineMs = dl->asU64();

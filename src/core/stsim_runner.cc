@@ -22,6 +22,7 @@
  *            SHARD...
  *   dispatch --manifest FILE --dir DIR [--shards N] ...
  *   resume   --dir DIR ...
+ *   serve-worker   (stdin/stdout job loop for stsim_serve --isolate)
  *   help | --help | -h
  *
  * Sharding is by manifest index modulo N, so shard workloads stay
@@ -52,6 +53,7 @@
 #include "core/job_serde.hh"
 #include "core/parallel_harness.hh"
 #include "core/results_sink.hh"
+#include "core/simulator.hh"
 #include "core/suites.hh"
 #include "dist/host_launcher.hh"
 #include "dist/shard_scheduler.hh"
@@ -78,10 +80,12 @@ printUsage(std::FILE *to)
         "  stsim_runner dispatch --manifest FILE --dir DIR "
         "[--shards N] [--jobs W] [--max-attempts K]\n"
         "               [--concurrent C] [--timeout-sec S] "
-        "[--runner PATH]\n"
+        "[--retry-backoff-ms B]\n"
+        "               [--retry-backoff-cap-ms C] [--runner PATH]\n"
         "  stsim_runner resume --dir DIR [--jobs W] "
         "[--max-attempts K] [--concurrent C]\n"
         "               [--timeout-sec S] [--runner PATH]\n"
+        "  stsim_runner serve-worker\n"
         "  stsim_runner help\n"
         "\n"
         "merge derives the expected record count from --manifest "
@@ -523,6 +527,88 @@ cmdMerge(Args &a)
     return 0;
 }
 
+/**
+ * Fleet worker mode for stsim_serve --isolate: one JSONL request
+ * frame per stdin line (the ServeRequest shape the daemon already
+ * speaks), one reply line per request on stdout. Results use the
+ * exact `dump` serializer, so whatever the daemon forwards verbatim
+ * stays byte-identical to an in-process run. A hostile config becomes
+ * a structured bad_request reply via FatalCaptureScope; a genuine
+ * crash takes down only this process -- that is the point.
+ */
+int
+cmdServeWorker(Args &a)
+{
+    if (a.i < a.argc)
+        usage("serve-worker takes no flags");
+    const char *crashMarker = std::getenv(dist::kTestCrashOnJobEnv);
+
+    // Hello line first: the supervisor treats it as proof the exec
+    // succeeded and the pipe is live before dispatching any job.
+    {
+        serde::FlatWriter hello;
+        hello.u64("worker_hello",
+                  static_cast<std::uint64_t>(::getpid()));
+        std::string line = hello.finish();
+        line.push_back('\n');
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fflush(stdout);
+    }
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        serde::ServeRequest req;
+        std::string err;
+        std::string reply;
+        if (!serde::tryParseServeRequest(line, req, err)) {
+            serde::FlatWriter w;
+            w.str("error", "bad_request");
+            w.u64("id", 0);
+            w.str("detail", err);
+            reply = w.finish();
+        } else if (req.ping || req.health) {
+            serde::FlatWriter w;
+            w.u64("pong", req.id);
+            reply = w.finish();
+        } else {
+            if (crashMarker && *crashMarker &&
+                req.job.experiment.find(crashMarker) !=
+                    std::string::npos) {
+                // Fault injection (dist::kTestCrashOnJobEnv): commit a
+                // torn partial reply, then die mid-job. The supervisor
+                // must discard the fragment and report the crash.
+                std::fputs("{\"index\":", stdout);
+                std::fflush(stdout);
+                volatile int *p = nullptr;
+                *p = 1; // SIGSEGV
+            }
+            FatalCaptureScope scope;
+            try {
+                Simulator sim(req.job.cfg);
+                SimResults r = sim.run();
+                r.experiment = req.job.experiment;
+                reply = serde::resultRecordToJson(req.id, r);
+            } catch (const FatalError &e) {
+                serde::FlatWriter w;
+                w.str("error", "bad_request");
+                w.u64("id", req.id);
+                w.str("detail", e.what());
+                reply = w.finish();
+            }
+        }
+        reply.push_back('\n');
+        if (std::fwrite(reply.data(), 1, reply.size(), stdout) !=
+                reply.size() ||
+            std::fflush(stdout) != 0) {
+            return 0; // supervisor is gone; nothing left to serve
+        }
+    }
+    // stdin EOF: the supervisor closed our pipe -- clean retirement.
+    return 0;
+}
+
 int
 cmdDispatchOrResume(Args &a, bool isResume)
 {
@@ -547,6 +633,13 @@ cmdDispatchOrResume(Args &a, bool isResume)
         else if (!std::strcmp(a.argv[a.i], "--timeout-sec"))
             opts.shardTimeout = std::chrono::seconds(
                 parseU64(a.need("--timeout-sec"), "--timeout-sec"));
+        else if (!std::strcmp(a.argv[a.i], "--retry-backoff-ms"))
+            opts.retryBackoffBaseMs = parseU64(
+                a.need("--retry-backoff-ms"), "--retry-backoff-ms");
+        else if (!std::strcmp(a.argv[a.i], "--retry-backoff-cap-ms"))
+            opts.retryBackoffCapMs =
+                parseU64(a.need("--retry-backoff-cap-ms"),
+                         "--retry-backoff-cap-ms");
         else if (!std::strcmp(a.argv[a.i], "--runner"))
             runner = a.need("--runner");
         else if (!isResume &&
@@ -604,5 +697,7 @@ main(int argc, char **argv)
         return cmdDispatchOrResume(a, /*isResume=*/false);
     if (!std::strcmp(cmd, "resume"))
         return cmdDispatchOrResume(a, /*isResume=*/true);
+    if (!std::strcmp(cmd, "serve-worker"))
+        return cmdServeWorker(a);
     usage(("unknown subcommand '" + std::string(cmd) + "'").c_str());
 }

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -19,6 +20,41 @@ namespace dist
 {
 
 HostLauncher::~HostLauncher() = default;
+
+std::uint64_t
+backoffDelayMs(unsigned stage, std::uint64_t baseMs,
+               std::uint64_t capMs, std::uint64_t seed)
+{
+    if (stage == 0 || baseMs == 0)
+        return 0;
+    // Capped exponential: base << (stage-1), saturating well before
+    // the shift could overflow.
+    unsigned shift = stage - 1 > 20 ? 20 : stage - 1;
+    std::uint64_t exp = baseMs << shift;
+    if (exp > capMs || (exp >> shift) != baseMs)
+        exp = capMs;
+    // Deterministic jitter in [0, baseMs]: FNV-1a over (seed, stage).
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(seed);
+    mix(stage);
+    return exp + h % (baseMs + 1);
+}
+
+std::string
+describeWaitStatus(int status)
+{
+    if (WIFEXITED(status))
+        return "exit " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "status " + std::to_string(status);
+}
 
 LocalProcessLauncher::LocalProcessLauncher(std::string runnerPath)
     : runner_(std::move(runnerPath))
@@ -103,17 +139,10 @@ LocalProcessLauncher::waitAny(std::chrono::milliseconds timeout)
             }
             ShardExit ex;
             ex.shard = it->first;
-            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
                 ex.success = true;
-            } else if (WIFEXITED(status)) {
-                ex.reason = "exit " +
-                            std::to_string(WEXITSTATUS(status));
-            } else if (WIFSIGNALED(status)) {
-                ex.reason = "signal " +
-                            std::to_string(WTERMSIG(status));
-            } else {
-                ex.reason = "status " + std::to_string(status);
-            }
+            else
+                ex.reason = describeWaitStatus(status);
             pids_.erase(it);
             return ex;
         }
@@ -132,6 +161,82 @@ LocalProcessLauncher::kill(std::uint64_t shard)
     ::kill(it->second, SIGKILL);
     // The exit is reported through waitAny like any other death, so
     // the scheduler journals exactly one terminal record per attempt.
+}
+
+WorkerLauncher::~WorkerLauncher() = default;
+
+LocalWorkerLauncher::LocalWorkerLauncher(std::string runnerPath)
+    : runner_(std::move(runnerPath))
+{
+    if (::access(runner_.c_str(), X_OK) != 0) {
+        stsim_fatal("fleet: '%s' is not an executable runner (%s)",
+                    runner_.c_str(), std::strerror(errno));
+    }
+}
+
+WorkerProcess
+LocalWorkerLauncher::launch()
+{
+    int inPipe[2];  // parent writes jobs -> worker stdin
+    int outPipe[2]; // worker stdout -> parent reads replies
+    // CLOEXEC everywhere: a worker forked later must not inherit this
+    // one's pipe ends, or closing our copy would never deliver EOF.
+    // dup2 onto stdio below clears the flag on the child's own ends.
+    if (::pipe2(inPipe, O_CLOEXEC) != 0 ||
+        ::pipe2(outPipe, O_CLOEXEC) != 0)
+        stsim_fatal("fleet: pipe failed (%s)", std::strerror(errno));
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        stsim_fatal("fleet: fork failed (%s)", std::strerror(errno));
+    if (pid == 0) {
+        ::dup2(inPipe[0], STDIN_FILENO);
+        ::dup2(outPipe[1], STDOUT_FILENO);
+        ::close(inPipe[0]);
+        ::close(inPipe[1]);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        const char *argv[] = {runner_.c_str(), "serve-worker", nullptr};
+        ::execv(runner_.c_str(), const_cast<char *const *>(argv));
+        std::fprintf(stderr, "fleet: exec '%s' failed: %s\n",
+                     runner_.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+    ::close(inPipe[0]);
+    ::close(outPipe[1]);
+    // Nonblocking reads so the supervisor can poll() the whole fleet;
+    // job writes stay blocking (one small line, pipe never fills).
+    int fl = ::fcntl(outPipe[0], F_GETFL, 0);
+    ::fcntl(outPipe[0], F_SETFL, fl | O_NONBLOCK);
+
+    WorkerProcess w;
+    w.pid = pid;
+    w.stdinFd = inPipe[1];
+    w.stdoutFd = outPipe[0];
+    return w;
+}
+
+void
+LocalWorkerLauncher::kill(pid_t pid)
+{
+    if (pid > 0)
+        ::kill(pid, SIGKILL);
+}
+
+bool
+LocalWorkerLauncher::reap(pid_t pid, std::string &statusText)
+{
+    int status = 0;
+    pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == 0)
+        return false;
+    if (r < 0) {
+        // ECHILD would mean someone else reaped it; report it as gone.
+        statusText = std::string("waitpid: ") + std::strerror(errno);
+        return true;
+    }
+    statusText = describeWaitStatus(status);
+    return true;
 }
 
 } // namespace dist

@@ -33,6 +33,31 @@ namespace dist
 inline constexpr const char *kTestHangEnv =
     "STSIM_TEST_HANG_AFTER_FIRST_RECORD";
 
+/**
+ * Fault-injection hook honored by `stsim_runner serve-worker`: a job
+ * whose experiment name contains this value makes the worker write a
+ * torn partial reply and SIGSEGV mid-job. Lets the isolation tests
+ * exercise crash containment and poison-job quarantine with a
+ * deterministic killer job.
+ */
+inline constexpr const char *kTestCrashOnJobEnv =
+    "STSIM_TEST_CRASH_ON_JOB";
+
+/**
+ * Retry/respawn backoff schedule shared by the shard scheduler and
+ * the serve worker fleet: capped exponential growth from @p baseMs
+ * (stage 1 = base, stage 2 = 2*base, ...) up to @p capMs, plus a
+ * deterministic jitter in [0, baseMs] derived from (seed, stage) so
+ * simultaneous failures do not relaunch in lockstep -- and so tests
+ * can assert the exact schedule. Stage 0 means "no failures yet" and
+ * returns 0.
+ */
+std::uint64_t backoffDelayMs(unsigned stage, std::uint64_t baseMs,
+                             std::uint64_t capMs, std::uint64_t seed);
+
+/** Human-readable wait(2) status: "exit N" / "signal N". */
+std::string describeWaitStatus(int status);
+
 /** One shard's worth of work, fully specified. */
 struct ShardTask
 {
@@ -106,6 +131,58 @@ class LocalProcessLauncher : public HostLauncher
   private:
     std::string runner_;
     std::map<std::uint64_t, pid_t> pids_; ///< shard -> live worker
+};
+
+/**
+ * Handle to one spawned serve worker: its pid plus the parent ends of
+ * the stdin/stdout pipes. The stdout end is opened O_NONBLOCK so a
+ * supervisor can poll(2) many workers from one thread.
+ */
+struct WorkerProcess
+{
+    pid_t pid = -1;
+    int stdinFd = -1;  ///< write jobs here, one JSONL line each
+    int stdoutFd = -1; ///< read hello + reply lines here (nonblocking)
+};
+
+/**
+ * Spawns and reaps `stsim_runner serve-worker` processes for the
+ * serve-side fleet. Same role the HostLauncher plays for shard
+ * dispatch: the fleet supervisor only talks to this interface, so a
+ * remote (ssh) worker launcher is a drop-in later.
+ */
+class WorkerLauncher
+{
+  public:
+    virtual ~WorkerLauncher();
+
+    /** Spawn one worker; fatal on fork/pipe failure. */
+    virtual WorkerProcess launch() = 0;
+
+    /** SIGKILL @p pid. Reaping still happens through reap(). */
+    virtual void kill(pid_t pid) = 0;
+
+    /**
+     * Nonblocking waitpid on @p pid. Returns true and fills
+     * @p statusText ("exit N" / "signal N") once the worker has been
+     * reaped; false while it is still running.
+     */
+    virtual bool reap(pid_t pid, std::string &statusText) = 0;
+};
+
+/** fork/exec of `<runner> serve-worker` with stdio pipes. */
+class LocalWorkerLauncher : public WorkerLauncher
+{
+  public:
+    /** @p runnerPath is the stsim_runner binary to exec. */
+    explicit LocalWorkerLauncher(std::string runnerPath);
+
+    WorkerProcess launch() override;
+    void kill(pid_t pid) override;
+    bool reap(pid_t pid, std::string &statusText) override;
+
+  private:
+    std::string runner_;
 };
 
 } // namespace dist

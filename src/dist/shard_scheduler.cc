@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -120,6 +121,14 @@ std::string
 ShardScheduler::journalPath(const std::string &dir)
 {
     return dir + "/journal.jsonl";
+}
+
+std::chrono::milliseconds
+ShardScheduler::retryDelay(std::uint64_t shard, unsigned failures,
+                           std::uint64_t baseMs, std::uint64_t capMs)
+{
+    return std::chrono::milliseconds(
+        backoffDelayMs(failures, baseMs, capMs, shard));
 }
 
 std::string
@@ -351,6 +360,17 @@ ShardScheduler::failShard(std::uint64_t shard,
                     "giving up (last: %s)",
                     shard, s.failures, reason.c_str());
     }
+    // Capped exponential backoff with deterministic per-shard jitter
+    // before the relaunch: retries must not hammer a struggling host,
+    // and simultaneous failures must not relaunch in lockstep.
+    const auto delay =
+        retryDelay(shard, s.failures, opts_.retryBackoffBaseMs,
+                   opts_.retryBackoffCapMs);
+    s.eligibleAt = std::chrono::steady_clock::now() + delay;
+    if (delay.count() > 0) {
+        stsim_warn("dispatch: shard %" PRIu64 " retry in %lld ms",
+                   shard, static_cast<long long>(delay.count()));
+    }
     pending_.push_back(shard);
 }
 
@@ -422,17 +442,33 @@ int
 ShardScheduler::runLoop()
 {
     while (!pending_.empty() || launcher_.running() > 0) {
-        while (!pending_.empty() &&
+        // One rotation over the pending queue: launch what is both
+        // eligible (backoff elapsed) and within the concurrency cap,
+        // cycle the rest to the back so a cooling-down shard cannot
+        // block an eligible one behind it.
+        const auto now = std::chrono::steady_clock::now();
+        std::size_t scan = pending_.size();
+        while (scan-- > 0 && !pending_.empty() &&
                (maxConcurrent_ == 0 ||
                 launcher_.running() < maxConcurrent_)) {
             std::uint64_t shard = pending_.front();
             pending_.pop_front();
+            if (now < shards_[shard].eligibleAt) {
+                pending_.push_back(shard);
+                continue;
+            }
             launchShard(shard);
         }
         maybeInjectKill();
         // Check stragglers every iteration: a steady stream of other
         // workers' exits must not starve the timeout enforcement.
         killStragglers();
+        if (launcher_.running() == 0) {
+            // Everything pending is in backoff; waitAny's contract
+            // forbids calling it with no workers running.
+            std::this_thread::sleep_for(kWaitSlice);
+            continue;
+        }
         std::optional<ShardExit> ex = launcher_.waitAny(kWaitSlice);
         if (!ex)
             continue;

@@ -54,6 +54,14 @@ struct DispatchOptions
      *  (straggler replacement); zero disables the timeout. */
     std::optional<std::chrono::milliseconds> shardTimeout;
 
+    // Retry backoff: a failed shard waits backoffDelayMs(failures,
+    // base, cap, shard) before relaunching, so a host-level problem
+    // (disk full, fork storms) is not hammered at full speed. Per-run
+    // knobs, deliberately NOT journaled: the journal records what
+    // happened, not how fast it was retried. Zero base = immediate.
+    std::uint64_t retryBackoffBaseMs = 200;
+    std::uint64_t retryBackoffCapMs = 5'000;
+
     // Fault-injection hooks (tests/CI only): SIGKILL this shard's
     // first attempt once it has streamed a record; optionally crash
     // the dispatcher itself right after observing that death, leaving
@@ -95,6 +103,15 @@ class ShardScheduler
     /** The journal's path inside a dispatch directory. */
     static std::string journalPath(const std::string &dir);
 
+    /**
+     * The relaunch delay after @p failures failures of @p shard --
+     * backoffDelayMs with the shard index as the jitter seed. Exposed
+     * so the FakeLauncher unit test can assert the exact schedule.
+     */
+    static std::chrono::milliseconds
+    retryDelay(std::uint64_t shard, unsigned failures,
+               std::uint64_t baseMs, std::uint64_t capMs);
+
   private:
     struct Shard
     {
@@ -104,6 +121,8 @@ class ShardScheduler
         bool running = false;
         bool killRequested = false;
         std::chrono::steady_clock::time_point startedAt{};
+        /// earliest next launch (retry backoff gate)
+        std::chrono::steady_clock::time_point eligibleAt{};
     };
 
     int runLoop();

@@ -9,7 +9,15 @@
  *           index, bounded pipeline, busy retried), assert exactly
  *           one terminal reply per id, write the served result lines
  *           sorted by index -- byte-comparable with `stsim_runner
- *           dump` output for the same manifest
+ *           dump` output for the same manifest. With --retry N,
+ *           `busy` AND `internal` replies are retried up to N times
+ *           per job with exponential backoff (without it, busy
+ *           retries forever and internal is fatal) -- the client-side
+ *           mirror of the server's supervised-worker retry loop.
+ *   oneshot send one manifest job, print the reply line on stdout --
+ *           for scripted probes (e.g. steering a poison job at an
+ *           isolated server and asserting the structured error)
+ *   health  send {"op":"health"}, print the reply line on stdout
  *   abuse   hostile-input drill: garbage frames, missing keys,
  *           unknown benchmark, truncated frame, oversize frame,
  *           expired deadline -- each must earn a structured error,
@@ -65,7 +73,23 @@ struct Options
     unsigned delayMs = 50;
     int tries = 100;
     bool tolerateDisconnect = false;
+    /// bounded busy/internal retry attempts per job; -1 = legacy
+    /// behavior (busy retried forever, internal fatal)
+    int retryMax = -1;
+    std::size_t index = 0;
+    std::uint64_t id = 1;
+    std::string label = "stsim_serve_loadgen";
 };
+
+/** Retry backoff for attempt k (1-based): 2ms doubling, 250ms cap. */
+std::chrono::milliseconds
+retryBackoff(unsigned attempt)
+{
+    std::uint64_t ms = attempt >= 8 ? 250 : (2ull << attempt);
+    if (ms > 250)
+        ms = 250;
+    return std::chrono::milliseconds(ms);
+}
 
 int
 usage(FILE *to)
@@ -73,13 +97,21 @@ usage(FILE *to)
     std::fprintf(to,
 "usage: stsim_loadgen MODE (--unix PATH | --tcp PORT) [options]\n"
 "\n"
-"modes: ping | replay | abuse | slow | bench\n"
+"modes: ping | replay | abuse | slow | bench | oneshot | health\n"
 "  ping    --tries N (default 100, 100ms apart)\n"
-"  replay  --manifest FILE --out FILE [--window N]\n"
+"  replay  --manifest FILE --out FILE [--window N] [--retry N]\n"
 "  abuse   --manifest FILE\n"
 "  slow    --manifest FILE [--count N] [--delay-ms D]\n"
 "  bench   --manifest FILE [--clients N] [--duration-sec S]\n"
-"          [--deadline-ms D] [--json FILE] [--tolerate-disconnect]\n");
+"          [--deadline-ms D] [--json FILE] [--label NAME]\n"
+"          [--retry N] [--tolerate-disconnect]\n"
+"  oneshot --manifest FILE [--index I] [--id N] [--deadline-ms D]\n"
+"          (prints the reply line on stdout)\n"
+"  health  [--id N] (prints the health reply line on stdout)\n"
+"\n"
+"  --retry N  retry busy/internal replies up to N times per job with\n"
+"             exponential backoff; without it busy retries forever\n"
+"             and internal is fatal (replay) or tallied (bench)\n");
     return to == stdout ? 0 : 2;
 }
 
@@ -234,9 +266,10 @@ replayMode(const Options &opts)
 
     std::vector<std::string> results(n);
     std::vector<int> replies(n, 0);
+    std::vector<unsigned> attempts(n, 0);
     std::deque<std::size_t> retry;
     std::size_t sent = 0, done = 0, outstanding = 0;
-    std::uint64_t busyRetries = 0;
+    std::uint64_t retries = 0;
 
     while (done < n) {
         while (outstanding < opts.window &&
@@ -275,12 +308,32 @@ replayMode(const Options &opts)
             --outstanding;
             break;
           case ReplyKind::Error:
-            if (r.errorKind == "busy") {
-                ++busyRetries;
+            if (r.id >= n)
+                stsim_fatal("loadgen: replay: error for unknown id "
+                            "%llu: %s",
+                            static_cast<unsigned long long>(r.id),
+                            line.c_str());
+            if (r.errorKind == "busy" ||
+                (opts.retryMax >= 0 && r.errorKind == "internal")) {
+                ++retries;
                 --outstanding;
+                if (opts.retryMax >= 0) {
+                    if (++attempts[r.id] >
+                        static_cast<unsigned>(opts.retryMax)) {
+                        stsim_fatal(
+                            "loadgen: replay: id %llu still %s after "
+                            "%d retries (%s)",
+                            static_cast<unsigned long long>(r.id),
+                            r.errorKind.c_str(), opts.retryMax,
+                            r.detail.c_str());
+                    }
+                    std::this_thread::sleep_for(
+                        retryBackoff(attempts[r.id]));
+                } else {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                }
                 retry.push_back(r.id);
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(2));
                 break;
             }
             stsim_fatal("loadgen: replay: id %llu failed: %s (%s)",
@@ -306,10 +359,59 @@ replayMode(const Options &opts)
         stsim_fatal("loadgen: write to '%s' failed",
                     opts.outPath.c_str());
     std::fprintf(stderr,
-                 "loadgen: replay: %zu jobs served, %llu busy "
+                 "loadgen: replay: %zu jobs served, %llu "
                  "retries, every id answered exactly once\n",
-                 n, static_cast<unsigned long long>(busyRetries));
+                 n, static_cast<unsigned long long>(retries));
     return 0;
+}
+
+/**
+ * Send one frame, print the first reply line on stdout. Shared by the
+ * oneshot and health modes: scripts pipe the line into grep/python to
+ * assert on structured errors or supervision counters.
+ */
+int
+probeMode(const Options &opts, const std::string &frame)
+{
+    std::string err;
+    int fd = connectTarget(opts, &err);
+    if (fd < 0)
+        stsim_fatal("loadgen: %s", err.c_str());
+    setRecvTimeout(fd, 120);
+    if (!sendAll(fd, frame, &err))
+        stsim_fatal("loadgen: probe: %s", err.c_str());
+    LineReader lr(fd, 1 << 22);
+    std::string line;
+    if (lr.next(line) != LineStatus::Line) {
+        ::close(fd);
+        std::fprintf(stderr, "loadgen: probe: no reply before EOF\n");
+        return 1;
+    }
+    ::close(fd);
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    return 0;
+}
+
+int
+oneshotMode(const Options &opts)
+{
+    if (opts.manifest.empty())
+        stsim_fatal("loadgen: oneshot needs --manifest");
+    std::vector<std::string> jobs = loadManifest(opts.manifest);
+    if (opts.index >= jobs.size())
+        stsim_fatal("loadgen: oneshot: --index %zu out of range "
+                    "(manifest has %zu jobs)",
+                    opts.index, jobs.size());
+    return probeMode(opts, frameFor(jobs[opts.index], opts.id,
+                                    opts.deadlineMs));
+}
+
+int
+healthMode(const Options &opts)
+{
+    return probeMode(opts, "{\"op\":\"health\",\"id\":" +
+                               std::to_string(opts.id) + "}\n");
 }
 
 /** One abuse scenario: send bytes, expect a certain reply shape. */
@@ -474,7 +576,9 @@ benchMode(const Options &opts)
 
     struct ClientTally
     {
-        std::uint64_t ok = 0, busy = 0, errors = 0;
+        std::uint64_t ok = 0, busy = 0, errors = 0, retries = 0;
+        std::uint64_t deadline = 0, internal = 0, poison = 0,
+                      badRequest = 0, otherErrors = 0;
         std::vector<double> latMs;
         bool hardFailure = false;
         std::string failure;
@@ -499,6 +603,7 @@ benchMode(const Options &opts)
             setRecvTimeout(fd, 120);
             LineReader lr(fd, 1 << 22);
             std::uint64_t seq = ci; // per-conn ids need not be global
+            unsigned attempt = 0;  // busy/internal retries of this seq
             while (clock::now() < stopAt) {
                 const std::string &job = jobs[seq % jobs.size()];
                 auto t0 = clock::now();
@@ -520,18 +625,47 @@ benchMode(const Options &opts)
                                 clock::now() - t0)
                                 .count();
                 Reply r = classify(line);
+                bool advance = true;
                 if (r.kind == ReplyKind::Result) {
                     ++t.ok;
                     t.latMs.push_back(ms);
                 } else if (r.kind == ReplyKind::Error &&
-                           r.errorKind == "busy") {
-                    ++t.busy;
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(1));
+                           (r.errorKind == "busy" ||
+                            r.errorKind == "internal")) {
+                    if (r.errorKind == "busy")
+                        ++t.busy;
+                    else
+                        ++t.errors, ++t.internal;
+                    if (opts.retryMax >= 0 &&
+                        attempt <
+                            static_cast<unsigned>(opts.retryMax)) {
+                        ++attempt;
+                        ++t.retries;
+                        advance = false;
+                        std::this_thread::sleep_for(
+                            retryBackoff(attempt));
+                    } else if (r.errorKind == "busy") {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    }
+                } else if (r.kind == ReplyKind::Error) {
+                    ++t.errors;
+                    if (r.errorKind == "deadline")
+                        ++t.deadline;
+                    else if (r.errorKind == "poison")
+                        ++t.poison;
+                    else if (r.errorKind == "bad_request")
+                        ++t.badRequest;
+                    else
+                        ++t.otherErrors;
                 } else {
                     ++t.errors;
+                    ++t.otherErrors;
                 }
-                seq += opts.clients;
+                if (advance) {
+                    seq += opts.clients;
+                    attempt = 0;
+                }
             }
             ::close(fd);
         });
@@ -541,7 +675,9 @@ benchMode(const Options &opts)
     double elapsed =
         std::chrono::duration<double>(clock::now() - start).count();
 
-    std::uint64_t ok = 0, busy = 0, errors = 0;
+    std::uint64_t ok = 0, busy = 0, errors = 0, retries = 0;
+    std::uint64_t deadline = 0, internal = 0, poison = 0,
+                  badRequest = 0, other = 0;
     std::vector<double> lat;
     for (const ClientTally &t : tallies) {
         if (t.hardFailure)
@@ -550,6 +686,12 @@ benchMode(const Options &opts)
         ok += t.ok;
         busy += t.busy;
         errors += t.errors;
+        retries += t.retries;
+        deadline += t.deadline;
+        internal += t.internal;
+        poison += t.poison;
+        badRequest += t.badRequest;
+        other += t.otherErrors;
         lat.insert(lat.end(), t.latMs.begin(), t.latMs.end());
     }
     std::sort(lat.begin(), lat.end());
@@ -562,12 +704,14 @@ benchMode(const Options &opts)
 
     std::fprintf(stderr,
                  "loadgen: bench: %u clients, %.2fs: %llu ok "
-                 "(%.1f jobs/s), %llu busy, %llu errors; latency ms "
+                 "(%.1f jobs/s), %llu busy, %llu errors, %llu "
+                 "retries; latency ms "
                  "p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
                  opts.clients, elapsed,
                  static_cast<unsigned long long>(ok), jobsPerSec,
                  static_cast<unsigned long long>(busy),
-                 static_cast<unsigned long long>(errors), p50, p90,
+                 static_cast<unsigned long long>(errors),
+                 static_cast<unsigned long long>(retries), p50, p90,
                  p99, worst);
 
     if (!opts.jsonPath.empty()) {
@@ -577,15 +721,24 @@ benchMode(const Options &opts)
                         opts.jsonPath.c_str(), std::strerror(errno));
         std::fprintf(
             f,
-            "{\"name\":\"stsim_serve_loadgen\",\"clients\":%u,"
-            "\"duration_s\":%.3f,\"ok\":%llu,\"busy\":%llu,"
-            "\"errors\":%llu,\"jobs_per_sec\":%.2f,"
+            "{\"name\":\"%s\",\"clients\":%u,"
+            "\"duration_s\":%.3f,\"ok\":%llu,\"shed_busy\":%llu,"
+            "\"errors\":%llu,\"retries\":%llu,"
+            "\"error_kinds\":{\"deadline\":%llu,\"internal\":%llu,"
+            "\"poison\":%llu,\"bad_request\":%llu,\"other\":%llu},"
+            "\"jobs_per_sec\":%.2f,"
             "\"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,"
             "\"p99\":%.3f,\"max\":%.3f}}\n",
-            opts.clients, elapsed,
+            opts.label.c_str(), opts.clients, elapsed,
             static_cast<unsigned long long>(ok),
             static_cast<unsigned long long>(busy),
-            static_cast<unsigned long long>(errors), jobsPerSec, p50,
+            static_cast<unsigned long long>(errors),
+            static_cast<unsigned long long>(retries),
+            static_cast<unsigned long long>(deadline),
+            static_cast<unsigned long long>(internal),
+            static_cast<unsigned long long>(poison),
+            static_cast<unsigned long long>(badRequest),
+            static_cast<unsigned long long>(other), jobsPerSec, p50,
             p90, p99, worst);
         if (std::fclose(f) != 0)
             stsim_fatal("loadgen: write to '%s' failed",
@@ -641,6 +794,14 @@ main(int argc, char **argv)
             opts.delayMs = static_cast<unsigned>(parseU64(a, val()));
         } else if (!std::strcmp(a, "--tries")) {
             opts.tries = static_cast<int>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--retry")) {
+            opts.retryMax = static_cast<int>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--index")) {
+            opts.index = static_cast<std::size_t>(parseU64(a, val()));
+        } else if (!std::strcmp(a, "--id")) {
+            opts.id = parseU64(a, val());
+        } else if (!std::strcmp(a, "--label")) {
+            opts.label = val();
         } else if (!std::strcmp(a, "--tolerate-disconnect")) {
             opts.tolerateDisconnect = true;
         } else {
@@ -662,6 +823,10 @@ main(int argc, char **argv)
         return slowMode(opts);
     if (opts.mode == "bench")
         return benchMode(opts);
+    if (opts.mode == "oneshot")
+        return oneshotMode(opts);
+    if (opts.mode == "health")
+        return healthMode(opts);
     std::fprintf(stderr, "loadgen: unknown mode '%s'\n",
                  opts.mode.c_str());
     return usage(stderr);

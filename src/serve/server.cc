@@ -44,6 +44,25 @@ errorLine(const char *kind, std::uint64_t id, std::string_view detail)
     return w.finish();
 }
 
+/** Default --isolate runner: "stsim_runner" beside this executable. */
+std::string
+defaultRunnerPath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0) {
+        stsim_fatal("serve: cannot resolve /proc/self/exe (%s); "
+                    "pass a runner path",
+                    std::strerror(errno));
+    }
+    buf[n] = '\0';
+    std::string p(buf);
+    std::size_t slash = p.rfind('/');
+    std::string dir =
+        slash == std::string::npos ? "" : p.substr(0, slash + 1);
+    return dir + "stsim_runner";
+}
+
 } // namespace
 
 /** One admitted request, shared by conn, reaper, and its pool job. */
@@ -129,6 +148,21 @@ SimServer::start()
     queueCap_ = opts_.queueCapacity
                     ? opts_.queueCapacity
                     : std::size_t{2} * pool_.workers() + 4;
+    if (opts_.isolate) {
+        std::string runner = opts_.runnerPath.empty()
+                                 ? defaultRunnerPath()
+                                 : opts_.runnerPath;
+        workerLauncher_ =
+            std::make_unique<dist::LocalWorkerLauncher>(runner);
+        FleetOptions fo;
+        fo.workers = pool_.workers();
+        fo.jobAttempts = opts_.jobAttempts;
+        fo.poisonThreshold = opts_.poisonThreshold;
+        fo.respawnBaseMs = opts_.respawnBaseMs;
+        fo.respawnCapMs = opts_.respawnCapMs;
+        fleet_ = std::make_unique<WorkerFleet>(fo, *workerLauncher_);
+        fleet_->start();
+    }
     started_ = true;
     acceptThread_ = std::thread([this] { acceptLoop(); });
     reaperThread_ = std::thread([this] { reaperLoop(); });
@@ -170,6 +204,10 @@ SimServer::waitDrained()
     // lets the pool workers park. Jobs never throw (runJob catches),
     // so wait() cannot rethrow here.
     pool_.wait();
+    // Same for the fleet: no job outlives its connection, so this is
+    // pure worker retirement (EOF, then SIGKILL stragglers).
+    if (fleet_)
+        fleet_->stop();
     {
         std::lock_guard<std::mutex> lock(reaperMu_);
         reaperStop_ = true;
@@ -450,6 +488,10 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
         blockingReply(c, w.finish());
         return;
     }
+    if (req.health) {
+        blockingReply(c, healthLine(req.id));
+        return;
+    }
     stats_.requests++;
 
     if (draining_.load()) {
@@ -521,7 +563,14 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
         std::lock_guard<std::mutex> lock(inflightMu_);
         inflight_.push_back(inf);
     }
-    pool_.submit([this, c, inf] { runJob(c, inf); });
+    if (fleet_) {
+        fleet_->submit(inf->id, inf->job, inf->token,
+                       [this, c, inf](FleetResult res) {
+                           fleetDone(c, inf, std::move(res));
+                       });
+    } else {
+        pool_.submit([this, c, inf] { runJob(c, inf); });
+    }
 }
 
 void
@@ -583,6 +632,132 @@ SimServer::runJob(const std::shared_ptr<Conn> &c,
     }
     admitted_.fetch_sub(1);
     pushReserved(c, std::move(reply));
+}
+
+/**
+ * Fleet completion: the --isolate twin of runJob's bookkeeping tail.
+ * Runs on the fleet supervisor thread (or the submitting reader when
+ * the fleet is stopping); called exactly once per admitted job.
+ */
+void
+SimServer::fleetDone(const std::shared_ptr<Conn> &c,
+                     const std::shared_ptr<Inflight> &inf,
+                     FleetResult res)
+{
+    inf->done.store(true);
+    std::string reply;
+    switch (res.outcome) {
+    case FleetOutcome::kReply:
+        // The worker's line forwarded verbatim: a result record
+        // (byte-identical to `dump` by construction) or its own
+        // bad_request error record with the id already spliced in.
+        reply = std::move(res.line);
+        if (reply.rfind("{\"error\":", 0) == 0)
+            stats_.badRequests++;
+        else
+            stats_.completed++;
+        break;
+    case FleetOutcome::kCancelled: {
+        int reason = inf->cancelReason.load();
+        if (reason == kDeadline) {
+            stats_.deadlineCancelled++;
+            reply = errorLine("deadline", inf->id,
+                              "deadline expired before completion");
+        } else if (reason == kDrain) {
+            stats_.drainCancelled++;
+            reply = errorLine("cancelled", inf->id,
+                              "server drained before completion");
+        } else {
+            reply = errorLine("cancelled", inf->id,
+                              "cancelled before completion");
+        }
+        break;
+    }
+    case FleetOutcome::kInternal:
+        stats_.internalErrors++;
+        reply = errorLine("internal", inf->id, res.detail);
+        break;
+    case FleetOutcome::kPoison:
+        stats_.poisonRejected++;
+        reply = errorLine("poison", inf->id, res.detail);
+        break;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(c->mu);
+        auto &v = c->inflight;
+        v.erase(std::remove(v.begin(), v.end(), inf), v.end());
+    }
+    admitted_.fetch_sub(1);
+    pushReserved(c, std::move(reply));
+}
+
+/**
+ * {"op":"health"} reply: every ServeStats counter, plus the fleet's
+ * per-worker state under --isolate. Hand-composed (fixed keys,
+ * unsigned values, fixed state tokens), so no escaping is needed.
+ */
+std::string
+SimServer::healthLine(std::uint64_t id)
+{
+    std::string out = "{\"health\":" + std::to_string(id);
+    out += ",\"stats\":{";
+    bool first = true;
+    auto u64 = [&out, &first](const char *k, std::uint64_t v) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += k;
+        out += "\":";
+        out += std::to_string(v);
+    };
+    u64("connections", stats_.connections.load());
+    u64("rejected_connections", stats_.rejectedConnections.load());
+    u64("requests", stats_.requests.load());
+    u64("completed", stats_.completed.load());
+    u64("busy", stats_.busy.load());
+    u64("parse_errors", stats_.parseErrors.load());
+    u64("oversize", stats_.oversize.load());
+    u64("bad_requests", stats_.badRequests.load());
+    u64("deadline_cancelled", stats_.deadlineCancelled.load());
+    u64("disconnect_cancelled", stats_.disconnectCancelled.load());
+    u64("drain_cancelled", stats_.drainCancelled.load());
+    u64("internal_errors", stats_.internalErrors.load());
+    u64("poison_rejected", stats_.poisonRejected.load());
+    out += "},\"isolate\":";
+    out += fleet_ ? "true" : "false";
+    if (fleet_) {
+        FleetSnapshot snap = fleet_->snapshot();
+        out += ",\"fleet\":{";
+        first = true;
+        u64("workers", snap.workers.size());
+        u64("restarts_total", snap.restartsTotal);
+        u64("quarantined", snap.quarantined);
+        u64("poison_rejected", snap.poisonRejected);
+        out += ",\"worker\":[";
+        for (std::size_t i = 0; i < snap.workers.size(); ++i) {
+            const FleetWorkerInfo &w = snap.workers[i];
+            if (i)
+                out += ',';
+            out += '{';
+            first = true;
+            u64("slot", w.slot);
+            u64("pid", w.pid > 0
+                           ? static_cast<std::uint64_t>(w.pid)
+                           : 0);
+            out += ",\"state\":\"";
+            out += w.state;
+            out += '"';
+            u64("jobs", w.jobs);
+            u64("restarts", w.restarts);
+            u64("backoff_stage", w.backoffStage);
+            out += '}';
+        }
+        out += "]}";
+    }
+    out += '}';
+    return out;
 }
 
 void

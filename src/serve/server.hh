@@ -11,12 +11,15 @@
  *            -- a manifest record plus an optional client-chosen id
  *               (echoed back, default 0) and optional deadline.
  *   request  {"op":"ping","id":N}      -> {"pong":N}
+ *   request  {"op":"health","id":N}    -> {"health":N,"stats":{...},
+ *            "fleet":{...}} -- counters plus, under --isolate,
+ *            per-worker state (pid, jobs, restarts, backoff stage).
  *   reply    {"index":ID,"results":{...}}
  *            -- byte-identical to a `stsim_runner dump` record for the
  *               same job, which is what the soak gate diffs against.
  *   reply    {"error":KIND,"id":ID,"detail":"..."}
  *            -- KIND in {parse, oversize, busy, draining, too_large,
- *               bad_request, deadline, cancelled, internal}.
+ *               bad_request, deadline, cancelled, internal, poison}.
  *
  * Every admitted request produces exactly one reply; replies on a
  * connection may be reordered relative to submission (jobs run
@@ -38,6 +41,11 @@
  *  - Graceful drain: beginDrain() stops accepting, answers new frames
  *    with `draining`, lets in-flight work finish (cancelling whatever
  *    remains after drainGraceMs), then closes every connection.
+ *  - Process isolation (--isolate): jobs execute in a supervised
+ *    fleet of `stsim_runner serve-worker` subprocesses instead of the
+ *    in-process RunPool. A worker crash becomes a structured
+ *    `internal` reply (after bounded retries) or a `poison`
+ *    quarantine, never a daemon exit. See worker_fleet.hh.
  */
 
 #ifndef STSIM_SERVE_SERVER_HH
@@ -55,6 +63,7 @@
 #include <vector>
 
 #include "core/run_pool.hh"
+#include "serve/worker_fleet.hh"
 
 namespace stsim
 {
@@ -80,9 +89,23 @@ struct ServeOptions
     /**
      * Upper bound on warmup+measured instructions per request; keeps a
      * hostile job from wedging a worker for hours (and from the
-     * cycle-budget overflow a absurd maxInstructions could cause).
+     * cycle-budget overflow an absurd maxInstructions could cause).
      */
     std::uint64_t maxJobInstructions = 1'000'000'000;
+
+    /**
+     * Execute jobs in a supervised fleet of out-of-process
+     * `stsim_runner serve-worker` subprocesses (crash containment)
+     * instead of the in-process RunPool. runnerPath names the
+     * stsim_runner binary; empty resolves to "stsim_runner" next to
+     * the serving executable.
+     */
+    bool isolate = false;
+    std::string runnerPath;
+    unsigned jobAttempts = 3;     ///< worker deaths before `internal`
+    unsigned poisonThreshold = 2; ///< consecutive kills => quarantine
+    std::uint64_t respawnBaseMs = 50;   ///< fleet respawn backoff base
+    std::uint64_t respawnCapMs = 5'000; ///< fleet respawn backoff cap
 };
 
 /** Monotonic counters; read them after drain for the exit summary. */
@@ -99,6 +122,8 @@ struct ServeStats
     std::atomic<std::uint64_t> deadlineCancelled{0};
     std::atomic<std::uint64_t> disconnectCancelled{0};
     std::atomic<std::uint64_t> drainCancelled{0};
+    std::atomic<std::uint64_t> internalErrors{0}; ///< fleet gave up
+    std::atomic<std::uint64_t> poisonRejected{0}; ///< quarantined jobs
 };
 
 class SimServer
@@ -141,6 +166,10 @@ class SimServer
                     const std::string &line);
     void runJob(const std::shared_ptr<Conn> &c,
                 const std::shared_ptr<Inflight> &inf);
+    void fleetDone(const std::shared_ptr<Conn> &c,
+                   const std::shared_ptr<Inflight> &inf,
+                   FleetResult res);
+    std::string healthLine(std::uint64_t id);
     void markDead(const std::shared_ptr<Conn> &c, bool slowOrGone);
     void finalizeConn(const std::shared_ptr<Conn> &c);
     bool blockingReply(const std::shared_ptr<Conn> &c,
@@ -181,6 +210,10 @@ class SimServer
 
     bool started_ = false;
     bool drained_ = false;
+
+    // --isolate execution path; null when running in-process.
+    std::unique_ptr<dist::WorkerLauncher> workerLauncher_;
+    std::unique_ptr<WorkerFleet> fleet_;
 
     // Declared last: destroyed first, so in-flight jobs (which touch
     // stats_/admitted_/conns) finish while the rest is still alive.

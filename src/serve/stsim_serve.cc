@@ -51,7 +51,20 @@ usage(FILE *to)
 "                          reader blocks (default 64)\n"
 "  --max-conns N           connection cap (default 256)\n"
 "  --max-insts N           per-job instruction cap, warmup and measured\n"
-"                          each (default 1000000000; 0 = unlimited)\n");
+"                          each (default 1000000000; 0 = unlimited)\n"
+"  --isolate               run jobs in a supervised fleet of\n"
+"                          out-of-process `stsim_runner serve-worker`\n"
+"                          subprocesses: a crashing job becomes a\n"
+"                          structured reply, never a daemon exit\n"
+"  --runner PATH           stsim_runner binary for --isolate (default:\n"
+"                          stsim_runner beside this executable)\n"
+"  --job-attempts K        worker deaths before a job is answered\n"
+"                          {\"error\":\"internal\"} (default 3)\n"
+"  --poison-threshold K    consecutive worker kills before a job is\n"
+"                          quarantined as {\"error\":\"poison\"}\n"
+"                          (default 2)\n"
+"  --respawn-base-ms D     worker respawn backoff base (default 50)\n"
+"  --respawn-cap-ms D      worker respawn backoff cap (default 5000)\n");
     return to == stdout ? 0 : 2;
 }
 
@@ -119,6 +132,23 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(parseU64(a, val()));
         } else if (!std::strcmp(a, "--max-insts")) {
             opts.maxJobInstructions = parseU64(a, val());
+        } else if (!std::strcmp(a, "--isolate")) {
+            opts.isolate = true;
+        } else if (!std::strcmp(a, "--runner")) {
+            opts.runnerPath = val();
+        } else if (!std::strcmp(a, "--job-attempts")) {
+            opts.jobAttempts = static_cast<unsigned>(parseU64(a, val()));
+            if (!opts.jobAttempts)
+                stsim_fatal("serve: %s must be positive", a);
+        } else if (!std::strcmp(a, "--poison-threshold")) {
+            opts.poisonThreshold =
+                static_cast<unsigned>(parseU64(a, val()));
+            if (!opts.poisonThreshold)
+                stsim_fatal("serve: %s must be positive", a);
+        } else if (!std::strcmp(a, "--respawn-base-ms")) {
+            opts.respawnBaseMs = parseU64(a, val());
+        } else if (!std::strcmp(a, "--respawn-cap-ms")) {
+            opts.respawnCapMs = parseU64(a, val());
         } else {
             std::fprintf(stderr, "serve: unknown argument '%s'\n", a);
             return usage(stderr);
@@ -158,7 +188,7 @@ main(int argc, char **argv)
         "stsim_serve: drained; conns=%llu (rejected %llu) "
         "requests=%llu completed=%llu busy=%llu parse=%llu "
         "oversize=%llu bad=%llu deadline=%llu disconnect=%llu "
-        "drain-cancelled=%llu",
+        "drain-cancelled=%llu internal=%llu poison=%llu",
         static_cast<unsigned long long>(s.connections.load()),
         static_cast<unsigned long long>(s.rejectedConnections.load()),
         static_cast<unsigned long long>(s.requests.load()),
@@ -169,6 +199,8 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(s.badRequests.load()),
         static_cast<unsigned long long>(s.deadlineCancelled.load()),
         static_cast<unsigned long long>(s.disconnectCancelled.load()),
-        static_cast<unsigned long long>(s.drainCancelled.load()));
+        static_cast<unsigned long long>(s.drainCancelled.load()),
+        static_cast<unsigned long long>(s.internalErrors.load()),
+        static_cast<unsigned long long>(s.poisonRejected.load()));
     return 0;
 }

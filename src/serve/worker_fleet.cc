@@ -1,0 +1,603 @@
+#include "worker_fleet.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "core/job_serde.hh"
+
+namespace stsim
+{
+namespace serve
+{
+
+namespace
+{
+
+using clock_t_ = std::chrono::steady_clock;
+
+/// A worker drowning us in output is as dead as one that is silent.
+constexpr std::size_t kMaxReplyBytes = std::size_t{8} << 20;
+
+/// Bounded synchronous reap after an EOF: normal deaths (exit,
+/// SIGKILL, SIGSEGV) are reapable within a tick or two.
+constexpr int kReapSpinMs = 40;
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Blocking full write; EPIPE (dead worker) returns false. */
+bool
+writeAll(int fd, const std::string &buf)
+{
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+WorkerFleet::WorkerFleet(FleetOptions opts,
+                         dist::WorkerLauncher &launcher)
+    : opts_(std::move(opts)), launcher_(launcher)
+{
+    stsim_assert(opts_.workers > 0, "fleet: needs at least one worker");
+    stsim_assert(opts_.jobAttempts > 0,
+                 "fleet: jobAttempts must be positive");
+    stsim_assert(opts_.poisonThreshold > 0,
+                 "fleet: poisonThreshold must be positive");
+}
+
+WorkerFleet::~WorkerFleet()
+{
+    stop();
+}
+
+void
+WorkerFleet::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stsim_assert(!started_, "fleet: started twice");
+        if (::pipe2(wakePipe_, O_CLOEXEC | O_NONBLOCK) < 0)
+            stsim_fatal("fleet: pipe: %s", std::strerror(errno));
+        slots_.resize(opts_.workers);
+        for (Slot &s : slots_)
+            spawnSlot(s);
+        started_ = true;
+    }
+    supervisor_ = std::thread([this] { supervisorMain(); });
+}
+
+void
+WorkerFleet::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!started_ || stopped_) {
+            stopped_ = started_;
+            return;
+        }
+        stopping_ = true;
+        stopped_ = true;
+    }
+    wake();
+    if (supervisor_.joinable())
+        supervisor_.join();
+    if (wakePipe_[0] >= 0)
+        ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0)
+        ::close(wakePipe_[1]);
+    wakePipe_[0] = wakePipe_[1] = -1;
+}
+
+void
+WorkerFleet::wake()
+{
+    char b = 1;
+    // Nonblocking: a full pipe already guarantees a pending wakeup.
+    ssize_t n = ::write(wakePipe_[1], &b, 1);
+    (void)n;
+}
+
+void
+WorkerFleet::submit(std::uint64_t id, const SimJob &job,
+                    std::shared_ptr<CancelToken> token, Callback cb)
+{
+    // Wire frame: the job's manifest serialization with the id
+    // spliced in front -- exactly the daemon's own request shape, so
+    // the worker parses it with the same tryParseServeRequest.
+    std::string jobJson = serde::toJson(job);
+    Job j;
+    j.id = id;
+    j.line = "{\"id\":" + std::to_string(id) + "," + jobJson.substr(1);
+    j.line.push_back('\n');
+    j.finger = fnv1a(jobJson);
+    j.token = std::move(token);
+    j.cb = std::move(cb);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            FleetResult res;
+            res.outcome = FleetOutcome::kCancelled;
+            res.detail = "fleet is stopping";
+            completeJob(std::move(j), std::move(res));
+            return;
+        }
+        queue_.push_back(std::move(j));
+    }
+    wake();
+}
+
+FleetSnapshot
+WorkerFleet::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    FleetSnapshot out;
+    out.restartsTotal = restartsTotal_;
+    out.quarantined = quarantined_.size();
+    out.poisonRejected = poisonRejected_;
+    out.workers.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &s = slots_[i];
+        FleetWorkerInfo w;
+        w.slot = static_cast<unsigned>(i);
+        w.pid = s.proc.pid;
+        switch (s.state) {
+        case Slot::kDown:
+            w.state = "down";
+            break;
+        case Slot::kSpawning:
+            w.state = "spawning";
+            break;
+        case Slot::kIdle:
+            w.state = "idle";
+            break;
+        case Slot::kBusy:
+            w.state = "busy";
+            break;
+        case Slot::kBackoff:
+            w.state = "backoff";
+            break;
+        }
+        w.jobs = s.jobsServed;
+        w.restarts = s.restarts;
+        w.backoffStage = s.crashStreak;
+        out.workers.push_back(w);
+    }
+    return out;
+}
+
+void
+WorkerFleet::spawnSlot(Slot &s)
+{
+    s.proc = launcher_.launch();
+    s.state = Slot::kSpawning;
+    s.rdbuf.clear();
+    s.killedByFleet = false;
+    s.helloBy = clock_t_::now() +
+                std::chrono::milliseconds(opts_.helloTimeoutMs);
+}
+
+void
+WorkerFleet::closeSlotFds(Slot &s)
+{
+    if (s.proc.stdinFd >= 0)
+        ::close(s.proc.stdinFd);
+    if (s.proc.stdoutFd >= 0)
+        ::close(s.proc.stdoutFd);
+    s.proc.stdinFd = s.proc.stdoutFd = -1;
+}
+
+void
+WorkerFleet::completeJob(Job &&job, FleetResult res)
+{
+    Callback cb = std::move(job.cb);
+    if (!cb)
+        return;
+    // A throwing callback must not take the supervisor down with it.
+    try {
+        cb(std::move(res));
+    } catch (const std::exception &e) {
+        stsim_warn("fleet: completion callback threw: %s", e.what());
+    }
+}
+
+/**
+ * A worker is gone (EOF on its stdout, hello timeout, or a failed
+ * dispatch write). Reaps it, settles its job (requeue / internal /
+ * poison), and schedules the slot's respawn -- immediately for a
+ * deliberate fleet kill, behind capped-exponential backoff with
+ * deterministic per-slot jitter for a genuine crash.
+ */
+void
+WorkerFleet::handleDeath(std::size_t idx, clock_t_::time_point now)
+{
+    Slot &s = slots_[idx];
+    pid_t pid = s.proc.pid;
+    closeSlotFds(s);
+    s.rdbuf.clear();
+    s.proc.pid = -1;
+
+    std::string status = "status unknown";
+    if (pid > 0) {
+        // Defensive: EOF can also mean "closed its stdout but lives".
+        launcher_.kill(pid);
+        bool reaped = false;
+        for (int i = 0; i < kReapSpinMs && !reaped; ++i) {
+            reaped = launcher_.reap(pid, status);
+            if (!reaped)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }
+        if (!reaped)
+            unreaped_.push_back(pid);
+    }
+
+    if (s.job) {
+        Job job = std::move(*s.job);
+        s.job.reset();
+        job.deaths++;
+        unsigned kills = ++fingerKills_[job.finger];
+        if (kills >= opts_.poisonThreshold) {
+            quarantined_.insert(job.finger);
+            fingerKills_.erase(job.finger);
+            poisonRejected_++;
+            stsim_warn("fleet: job (id %llu) killed %u consecutive "
+                       "workers (%s); quarantined",
+                       static_cast<unsigned long long>(job.id), kills,
+                       status.c_str());
+            FleetResult res;
+            res.outcome = FleetOutcome::kPoison;
+            res.detail = "job killed " + std::to_string(kills) +
+                         " consecutive workers (" + status +
+                         "); quarantined";
+            completeJob(std::move(job), std::move(res));
+        } else if (job.deaths >= opts_.jobAttempts) {
+            FleetResult res;
+            res.outcome = FleetOutcome::kInternal;
+            res.detail = "worker died executing job (" + status +
+                         ") on all " + std::to_string(job.deaths) +
+                         " attempts";
+            completeJob(std::move(job), std::move(res));
+        } else {
+            // Head of the queue: a crashed job's retry should not sit
+            // behind the backlog it did not cause.
+            queue_.push_front(std::move(job));
+        }
+    }
+
+    s.restarts++;
+    restartsTotal_++;
+    if (s.killedByFleet) {
+        // Cancel/deadline kill: the worker was healthy; no penalty.
+        s.killedByFleet = false;
+        s.state = Slot::kDown;
+        s.eligibleAt = now;
+        return;
+    }
+    s.crashStreak++;
+    std::uint64_t delay =
+        dist::backoffDelayMs(s.crashStreak, opts_.respawnBaseMs,
+                             opts_.respawnCapMs,
+                             static_cast<std::uint64_t>(idx));
+    s.state = Slot::kBackoff;
+    s.eligibleAt = now + std::chrono::milliseconds(delay);
+    stsim_warn("fleet: worker %zu (pid %d) died (%s); respawn in "
+               "%llu ms (streak %u)",
+               idx, static_cast<int>(pid), status.c_str(),
+               static_cast<unsigned long long>(delay), s.crashStreak);
+}
+
+void
+WorkerFleet::dispatchQueued(clock_t_::time_point now)
+{
+    (void)now;
+    // Settle queued jobs that can no longer run before burning a
+    // worker on them: quarantined fingerprints and fired tokens.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (quarantined_.count(it->finger)) {
+            poisonRejected_++;
+            Job job = std::move(*it);
+            it = queue_.erase(it);
+            FleetResult res;
+            res.outcome = FleetOutcome::kPoison;
+            res.detail = "job fingerprint is quarantined";
+            completeJob(std::move(job), std::move(res));
+            continue;
+        }
+        if (it->token && it->token->cancelled()) {
+            Job job = std::move(*it);
+            it = queue_.erase(it);
+            FleetResult res;
+            res.outcome = FleetOutcome::kCancelled;
+            res.detail = "cancelled before dispatch";
+            completeJob(std::move(job), std::move(res));
+            continue;
+        }
+        ++it;
+    }
+
+    for (std::size_t i = 0; i < slots_.size() && !queue_.empty();
+         ++i) {
+        Slot &s = slots_[i];
+        if (s.state != Slot::kIdle)
+            continue;
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        if (!writeAll(s.proc.stdinFd, job.line)) {
+            // The worker died between replies; the job is blameless.
+            queue_.push_front(std::move(job));
+            handleDeath(i, clock_t_::now());
+            continue;
+        }
+        s.state = Slot::kBusy;
+        s.job = std::move(job);
+    }
+}
+
+void
+WorkerFleet::readSlot(std::size_t idx, clock_t_::time_point now)
+{
+    Slot &s = slots_[idx];
+    if (s.proc.stdoutFd < 0)
+        return;
+    if (s.state != Slot::kSpawning && s.state != Slot::kIdle &&
+        s.state != Slot::kBusy)
+        return;
+
+    bool eof = false;
+    for (;;) {
+        char buf[4096];
+        ssize_t n = ::read(s.proc.stdoutFd, buf, sizeof buf);
+        if (n > 0) {
+            s.rdbuf.append(buf, static_cast<std::size_t>(n));
+            if (s.rdbuf.size() > kMaxReplyBytes) {
+                stsim_warn("fleet: worker %zu reply exceeds %zu "
+                           "bytes; killing it",
+                           idx, kMaxReplyBytes);
+                launcher_.kill(s.proc.pid);
+                eof = true;
+                break;
+            }
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        eof = true; // 0 = worker exited; <0 = pipe error, same thing
+        break;
+    }
+
+    // Settle complete lines first: a reply that raced the worker's
+    // death (or our own cancel-kill) still counts -- exactly once.
+    std::size_t pos;
+    while ((pos = s.rdbuf.find('\n')) != std::string::npos) {
+        std::string line = s.rdbuf.substr(0, pos);
+        s.rdbuf.erase(0, pos + 1);
+        if (line.empty())
+            continue;
+        if (s.state == Slot::kSpawning) {
+            std::vector<serde::FlatField> fields;
+            if (!serde::tryParseFlat(line, fields) || fields.empty() ||
+                fields[0].key != "worker_hello") {
+                stsim_warn("fleet: worker %zu sent garbage instead "
+                           "of hello; killing it",
+                           idx);
+                launcher_.kill(s.proc.pid);
+                handleDeath(idx, now);
+                return;
+            }
+            s.state = Slot::kIdle;
+            continue;
+        }
+        if (s.state == Slot::kBusy && s.job) {
+            Job job = std::move(*s.job);
+            s.job.reset();
+            s.state = Slot::kIdle;
+            s.jobsServed++;
+            s.crashStreak = 0;
+            // The job ran to a reply, so its fingerprint is not on a
+            // killing streak anymore.
+            fingerKills_.erase(job.finger);
+            FleetResult res;
+            res.outcome = FleetOutcome::kReply;
+            res.line = std::move(line);
+            completeJob(std::move(job), std::move(res));
+            continue;
+        }
+        // Idle chatter (e.g. a reply already settled as cancelled
+        // after a fleet kill): drop it.
+    }
+
+    if (eof)
+        handleDeath(idx, now);
+}
+
+void
+WorkerFleet::supervisorMain()
+{
+    // Dispatch writes race worker deaths; with SIGPIPE blocked on
+    // this thread they fail as EPIPE instead of killing the daemon.
+    sigset_t ss;
+    sigemptyset(&ss);
+    sigaddset(&ss, SIGPIPE);
+    ::pthread_sigmask(SIG_BLOCK, &ss, nullptr);
+
+    std::vector<struct pollfd> fds;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stopping_)
+                break;
+            auto now = clock_t_::now();
+
+            // Respawns whose backoff has elapsed.
+            for (Slot &s : slots_) {
+                if ((s.state == Slot::kDown ||
+                     s.state == Slot::kBackoff) &&
+                    now >= s.eligibleAt)
+                    spawnSlot(s);
+            }
+
+            // Spawn-wedge watchdog: exec'd but never said hello.
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                Slot &s = slots_[i];
+                if (s.state == Slot::kSpawning && now >= s.helloBy) {
+                    stsim_warn("fleet: worker %zu (pid %d) never "
+                               "said hello; respawning",
+                               i, static_cast<int>(s.proc.pid));
+                    launcher_.kill(s.proc.pid);
+                    handleDeath(i, now);
+                }
+            }
+
+            // Fired tokens on executing jobs: kill the worker, settle
+            // the job as cancelled now. The EOF that follows finds no
+            // job attached and respawns without a backoff penalty.
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                Slot &s = slots_[i];
+                if (s.state == Slot::kBusy && s.job && s.job->token &&
+                    s.job->token->cancelled()) {
+                    Job job = std::move(*s.job);
+                    s.job.reset();
+                    s.killedByFleet = true;
+                    launcher_.kill(s.proc.pid);
+                    FleetResult res;
+                    res.outcome = FleetOutcome::kCancelled;
+                    res.detail = "cancelled while executing";
+                    completeJob(std::move(job), std::move(res));
+                }
+            }
+
+            dispatchQueued(now);
+
+            // Opportunistic reaps of deaths that outran kReapSpinMs.
+            std::string st;
+            for (std::size_t i = 0; i < unreaped_.size();) {
+                if (launcher_.reap(unreaped_[i], st))
+                    unreaped_.erase(unreaped_.begin() +
+                                    static_cast<long>(i));
+                else
+                    ++i;
+            }
+
+            fds.clear();
+            fds.push_back({wakePipe_[0], POLLIN, 0});
+            for (const Slot &s : slots_) {
+                if (s.proc.stdoutFd >= 0)
+                    fds.push_back({s.proc.stdoutFd, POLLIN, 0});
+            }
+        }
+
+        // 10ms tick bounds token-poll and backoff-expiry latency; the
+        // wake pipe short-circuits it for submissions and stop().
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 10);
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            char buf[256];
+            while (::read(wakePipe_[0], buf, sizeof buf) > 0) {
+            }
+            auto now = clock_t_::now();
+            for (std::size_t i = 0; i < slots_.size(); ++i)
+                readSlot(i, now);
+        }
+    }
+    shutdownWorkers();
+}
+
+/**
+ * Retirement: close every stdin (a healthy worker exits 0 on EOF),
+ * give the fleet a moment, then SIGKILL stragglers and reap what can
+ * be reaped. Outstanding jobs -- there should be none, the server
+ * drains before stopping the fleet -- settle as cancelled.
+ */
+void
+WorkerFleet::shutdownWorkers()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!queue_.empty()) {
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        FleetResult res;
+        res.outcome = FleetOutcome::kCancelled;
+        res.detail = "fleet is stopping";
+        completeJob(std::move(job), std::move(res));
+    }
+    for (Slot &s : slots_) {
+        if (s.job) {
+            Job job = std::move(*s.job);
+            s.job.reset();
+            FleetResult res;
+            res.outcome = FleetOutcome::kCancelled;
+            res.detail = "fleet is stopping";
+            completeJob(std::move(job), std::move(res));
+        }
+        if (s.proc.stdinFd >= 0) {
+            ::close(s.proc.stdinFd);
+            s.proc.stdinFd = -1;
+        }
+    }
+
+    std::vector<pid_t> alive = unreaped_;
+    unreaped_.clear();
+    for (Slot &s : slots_) {
+        if (s.proc.pid > 0)
+            alive.push_back(s.proc.pid);
+    }
+    std::string st;
+    auto sweep = [&] {
+        for (std::size_t i = 0; i < alive.size();) {
+            if (launcher_.reap(alive[i], st))
+                alive.erase(alive.begin() + static_cast<long>(i));
+            else
+                ++i;
+        }
+    };
+    auto grace = clock_t_::now() + std::chrono::milliseconds(500);
+    while (!alive.empty() && clock_t_::now() < grace) {
+        sweep();
+        if (!alive.empty())
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (pid_t p : alive)
+        launcher_.kill(p);
+    auto hard = clock_t_::now() + std::chrono::seconds(2);
+    while (!alive.empty() && clock_t_::now() < hard) {
+        sweep();
+        if (!alive.empty())
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (Slot &s : slots_) {
+        closeSlotFds(s);
+        s.proc.pid = -1;
+        s.state = Slot::kDown;
+    }
+}
+
+} // namespace serve
+} // namespace stsim

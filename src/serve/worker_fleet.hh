@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Supervised out-of-process worker fleet for stsim_serve --isolate.
+ *
+ * The daemon-side half of the crash-containment story: N
+ * `stsim_runner serve-worker` subprocesses, each fed one JSONL job at
+ * a time over its stdin and read back over its stdout. A worker that
+ * exits, is signalled, or wedges takes down only itself: the
+ * supervisor detects the death, retries the job on another worker (up
+ * to a bounded attempt count), and respawns the dead slot with capped
+ * exponential backoff plus deterministic jitter so a crash loop can
+ * never spin the host.
+ *
+ * Poison-job quarantine: a job whose executions kill K consecutive
+ * workers is answered with a structured `poison` error instead of
+ * being retried forever, and its fingerprint (FNV-1a over the
+ * serialized job) is remembered for the fleet's lifetime -- later
+ * submissions of the same job are rejected without touching a worker.
+ *
+ * Single supervisor thread owns all process state (spawn, dispatch,
+ * poll, reap); submissions and health snapshots cross into it under
+ * one mutex. Completion callbacks run on the supervisor thread and
+ * must not block. The launcher is an interface (dist::WorkerLauncher)
+ * for the same reason the shard scheduler's is: a remote worker
+ * launcher is a drop-in, not a rewrite.
+ */
+
+#ifndef STSIM_SERVE_WORKER_FLEET_HH
+#define STSIM_SERVE_WORKER_FLEET_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.hh"
+#include "core/parallel_harness.hh"
+#include "dist/host_launcher.hh"
+
+namespace stsim
+{
+namespace serve
+{
+
+struct FleetOptions
+{
+    unsigned workers = 1;         ///< fleet size
+    unsigned jobAttempts = 3;     ///< worker deaths before `internal`
+    unsigned poisonThreshold = 2; ///< consecutive kills => quarantine
+    std::uint64_t respawnBaseMs = 50;   ///< backoff base
+    std::uint64_t respawnCapMs = 5'000; ///< backoff cap
+    std::uint64_t helloTimeoutMs = 10'000; ///< spawn-wedge watchdog
+};
+
+/** How one submitted job ended. */
+enum class FleetOutcome
+{
+    kReply,     ///< worker replied: line holds the verbatim record
+    kCancelled, ///< token fired first; worker was killed
+    kInternal,  ///< job died jobAttempts workers without quarantining
+    kPoison,    ///< job quarantined (now or on a prior submission)
+};
+
+struct FleetResult
+{
+    FleetOutcome outcome = FleetOutcome::kInternal;
+    std::string line;   ///< kReply: the worker's reply, no newline
+    std::string detail; ///< error context for the other outcomes
+};
+
+/** Per-worker state for {"op":"health"}. */
+struct FleetWorkerInfo
+{
+    unsigned slot = 0;
+    int pid = -1;
+    const char *state = "down";
+    std::uint64_t jobs = 0;     ///< replies served by this slot
+    std::uint64_t restarts = 0; ///< respawns of this slot
+    unsigned backoffStage = 0;  ///< consecutive-crash streak
+};
+
+struct FleetSnapshot
+{
+    std::uint64_t restartsTotal = 0;
+    std::uint64_t quarantined = 0;    ///< fingerprints in quarantine
+    std::uint64_t poisonRejected = 0; ///< jobs answered `poison`
+    std::vector<FleetWorkerInfo> workers;
+};
+
+class WorkerFleet
+{
+  public:
+    /** Called exactly once per submitted job, on the supervisor. */
+    using Callback = std::function<void(FleetResult)>;
+
+    WorkerFleet(FleetOptions opts, dist::WorkerLauncher &launcher);
+    ~WorkerFleet();
+
+    WorkerFleet(const WorkerFleet &) = delete;
+    WorkerFleet &operator=(const WorkerFleet &) = delete;
+
+    /** Spawn the fleet and the supervisor thread. */
+    void start();
+
+    /** Retire every worker (EOF, then SIGKILL stragglers) and join. */
+    void stop();
+
+    /**
+     * Queue one job. @p id is echoed in the reply record; @p token is
+     * polled by the supervisor -- when it fires, the executing worker
+     * is killed and the job completes as kCancelled.
+     */
+    void submit(std::uint64_t id, const SimJob &job,
+                std::shared_ptr<CancelToken> token, Callback cb);
+
+    FleetSnapshot snapshot() const;
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        std::string line; ///< wire frame, '\n'-terminated
+        std::uint64_t finger = 0;
+        std::shared_ptr<CancelToken> token;
+        Callback cb;
+        unsigned deaths = 0; ///< workers this job has killed
+    };
+
+    struct Slot
+    {
+        enum State
+        {
+            kDown,     ///< not spawned yet / awaiting respawn decision
+            kSpawning, ///< forked, waiting for the hello line
+            kIdle,
+            kBusy,
+            kBackoff, ///< dead; respawn gated on eligibleAt
+        };
+        State state = kDown;
+        dist::WorkerProcess proc;
+        std::string rdbuf;
+        bool killedByFleet = false; ///< cancel-kill: not a crash
+        unsigned crashStreak = 0;   ///< resets on a served reply
+        std::uint64_t jobsServed = 0;
+        std::uint64_t restarts = 0;
+        std::chrono::steady_clock::time_point eligibleAt{};
+        std::chrono::steady_clock::time_point helloBy{};
+        std::optional<Job> job; ///< present while kBusy
+    };
+
+    void supervisorMain();
+    void spawnSlot(Slot &s);
+    void closeSlotFds(Slot &s);
+    void handleDeath(std::size_t idx,
+                     std::chrono::steady_clock::time_point now);
+    void completeJob(Job &&job, FleetResult res);
+    void dispatchQueued(std::chrono::steady_clock::time_point now);
+    void readSlot(std::size_t idx,
+                  std::chrono::steady_clock::time_point now);
+    void wake();
+    void shutdownWorkers();
+
+    FleetOptions opts_;
+    dist::WorkerLauncher &launcher_;
+
+    mutable std::mutex mu_;
+    std::vector<Slot> slots_;
+    std::deque<Job> queue_;
+    std::set<std::uint64_t> quarantined_;
+    /// consecutive worker kills per live (unquarantined) fingerprint
+    std::map<std::uint64_t, unsigned> fingerKills_;
+    std::vector<pid_t> unreaped_; ///< dead pids awaiting waitpid
+    std::uint64_t restartsTotal_ = 0;
+    std::uint64_t poisonRejected_ = 0;
+    bool stopping_ = false;
+
+    int wakePipe_[2] = {-1, -1};
+    std::thread supervisor_;
+    bool started_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace serve
+} // namespace stsim
+
+#endif // STSIM_SERVE_WORKER_FLEET_HH

@@ -590,6 +590,93 @@ TEST(ShardScheduler, ResumeRefusesAShardWithNoAttemptsLeft)
     EXPECT_EQ(sched2.resume(), 0);
 }
 
+TEST(ShardScheduler, RetryDelayIsDeterministicCappedAndJittered)
+{
+    using std::chrono::milliseconds;
+    // Zero failures (first launch) and zero base are both immediate.
+    EXPECT_EQ(ShardScheduler::retryDelay(0, 0, 200, 5000),
+              milliseconds(0));
+    EXPECT_EQ(ShardScheduler::retryDelay(3, 2, 0, 5000),
+              milliseconds(0));
+
+    // Deterministic: the same (shard, failures, base, cap) always
+    // yields the same delay -- a resumed dispatcher retries on the
+    // same schedule as the one that died.
+    for (unsigned k = 1; k <= 6; ++k) {
+        EXPECT_EQ(ShardScheduler::retryDelay(7, k, 200, 5000),
+                  ShardScheduler::retryDelay(7, k, 200, 5000));
+    }
+
+    // Exponential with jitter: failure k waits at least
+    // min(base << (k-1), cap) and at most base more than that.
+    const std::uint64_t base = 200, cap = 5000;
+    for (std::uint64_t shard = 0; shard < 4; ++shard) {
+        for (unsigned k = 1; k <= 8; ++k) {
+            std::uint64_t exp = base << (k - 1);
+            if (exp > cap)
+                exp = cap;
+            auto d = ShardScheduler::retryDelay(shard, k, base, cap);
+            EXPECT_GE(d, milliseconds(exp))
+                << "shard " << shard << " failure " << k;
+            EXPECT_LE(d, milliseconds(exp + base))
+                << "shard " << shard << " failure " << k;
+        }
+    }
+
+    // The jitter seed decorrelates shards: two shards that fail at
+    // the same instant must not relaunch in lockstep forever.
+    bool anyDiffer = false;
+    for (unsigned k = 1; k <= 6 && !anyDiffer; ++k) {
+        anyDiffer = ShardScheduler::retryDelay(0, k, base, cap) !=
+                    ShardScheduler::retryDelay(1, k, base, cap);
+    }
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(ShardScheduler, FailedShardWaitsItsBackoffBeforeRelaunch)
+{
+    // Two scripted failures, then success: the scheduler must hold
+    // the shard back for at least retryDelay(failures) each time
+    // instead of hammering relaunches at full speed.
+    using clock = std::chrono::steady_clock;
+    struct TimedLauncher : FakeLauncher
+    {
+        using FakeLauncher::FakeLauncher;
+        std::vector<clock::time_point> launchTimes;
+        void
+        launch(const ShardTask &task) override
+        {
+            launchTimes.push_back(clock::now());
+            FakeLauncher::launch(task);
+        }
+    };
+
+    TempDir tmp;
+    writeFile(tmp.file("manifest.jsonl"), fakeManifest(4));
+    TimedLauncher launcher(4);
+    launcher.script(0) = {FakeLauncher::Behavior::ExitNonzero,
+                          FakeLauncher::Behavior::ExitNonzero,
+                          FakeLauncher::Behavior::Ok};
+    DispatchOptions opts = baseOptions(tmp, 1);
+    opts.retryBackoffBaseMs = 40;
+    opts.retryBackoffCapMs = 300;
+    ShardScheduler sched(std::move(opts), launcher);
+    EXPECT_EQ(sched.dispatch(), 0);
+
+    ASSERT_EQ(launcher.launchTimes.size(), 3u);
+    for (unsigned k = 1; k <= 2; ++k) {
+        auto waited =
+            launcher.launchTimes[k] - launcher.launchTimes[k - 1];
+        EXPECT_GE(waited, ShardScheduler::retryDelay(0, k, 40, 300))
+            << "relaunch " << k << " came back too fast";
+    }
+    JournalState st = DispatchJournal::replay(
+        ShardScheduler::journalPath(tmp.file("out")));
+    EXPECT_EQ(st.shard[0].launches, 3u);
+    EXPECT_EQ(st.shard[0].failures, 2u);
+    EXPECT_TRUE(st.shard[0].done);
+}
+
 TEST(ShardScheduler, ResumeRejectsAManifestThatChangedSize)
 {
     TempDir tmp;

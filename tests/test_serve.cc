@@ -7,6 +7,12 @@
  * for garbage/oversize/too-large frames, admission-queue load
  * shedding, deadline cancellation, graceful drain, and mid-job client
  * disconnect.
+ *
+ * The Isolated* tests run the same server with --isolate semantics:
+ * real `stsim_runner serve-worker` subprocesses (path baked in via
+ * STSIM_RUNNER_PATH), including workers that SIGSEGV mid-job through
+ * the STSIM_TEST_CRASH_ON_JOB hook -- crash containment, supervised
+ * respawn, and poison-job quarantine are asserted end to end.
  */
 
 #include <gtest/gtest.h>
@@ -20,6 +26,7 @@
 
 #include "core/experiment.hh"
 #include "core/job_serde.hh"
+#include "dist/host_launcher.hh"
 #include "core/parallel_harness.hh"
 #include "core/simulator.hh"
 #include "serve/net.hh"
@@ -143,6 +150,31 @@ bool
 startsWith(const std::string &s, const char *prefix)
 {
     return s.rfind(prefix, 0) == 0;
+}
+
+/** Scoped environment variable: set on entry, unset on exit. */
+struct EnvGuard
+{
+    std::string key;
+
+    EnvGuard(const char *k, const char *v) : key(k)
+    {
+        ::setenv(k, v, 1);
+    }
+
+    ~EnvGuard() { ::unsetenv(key.c_str()); }
+};
+
+/** ServeOptions routed through the out-of-process worker fleet. */
+serve::ServeOptions
+isolatedOptions(const TempDir &dir, unsigned workers)
+{
+    serve::ServeOptions opts;
+    opts.unixPath = dir.sock();
+    opts.workers = workers;
+    opts.isolate = true;
+    opts.runnerPath = STSIM_RUNNER_PATH;
+    return opts;
 }
 
 } // namespace
@@ -431,4 +463,179 @@ TEST(Serve, RepliesCorrelateById)
     server.waitDrained();
     EXPECT_EQ(server.stats().completed.load(),
               static_cast<std::uint64_t>(n));
+}
+
+TEST(Serve, HealthReportsStats)
+{
+    TempDir dir;
+    serve::ServeOptions opts;
+    opts.unixPath = dir.sock();
+    opts.workers = 1;
+    serve::SimServer server(opts);
+    server.start();
+
+    Client c(dir.sock());
+    c.send("{\"op\":\"health\",\"id\":5}\n");
+    std::string reply = c.readLine();
+    EXPECT_TRUE(startsWith(reply, "{\"health\":5,")) << reply;
+    EXPECT_NE(reply.find("\"isolate\":false"), std::string::npos)
+        << reply;
+    // No fleet in-process: the health record must say so by omission.
+    EXPECT_EQ(reply.find("\"fleet\""), std::string::npos) << reply;
+
+    server.beginDrain();
+    server.waitDrained();
+}
+
+// ---------------------------------------------------------------------------
+// Process isolation (--isolate): real serve-worker subprocesses
+// ---------------------------------------------------------------------------
+
+TEST(Serve, IsolatedResultIsByteIdenticalToDirectRun)
+{
+    TempDir dir;
+    serve::SimServer server(isolatedOptions(dir, 2));
+    server.start();
+
+    SimJob j = tinyJob();
+    Client c(dir.sock());
+    c.send(requestFrame(j, 7));
+    std::string reply = c.readLine();
+
+    SimResults direct = Simulator(j.cfg).run();
+    direct.experiment = j.experiment;
+    EXPECT_EQ(reply, serde::resultRecordToJson(7, direct));
+
+    // Health reports the fleet: two live workers, no restarts yet.
+    c.send("{\"op\":\"health\",\"id\":8}\n");
+    std::string health = c.readLine();
+    EXPECT_TRUE(startsWith(health, "{\"health\":8,")) << health;
+    EXPECT_NE(health.find("\"isolate\":true"), std::string::npos)
+        << health;
+    EXPECT_NE(health.find("\"fleet\":{\"workers\":2,"
+                          "\"restarts_total\":0"),
+              std::string::npos)
+        << health;
+
+    server.beginDrain();
+    server.waitDrained();
+    EXPECT_EQ(server.stats().completed.load(), 1u);
+}
+
+TEST(Serve, IsolatedWorkerCrashBecomesStructuredInternalError)
+{
+    // The crash hook makes a worker SIGSEGV on any job whose
+    // experiment name contains the marker. With the poison threshold
+    // out of reach, exhausting --job-attempts must answer `internal`
+    // -- and the daemon, its other connections, and the next valid
+    // job must be completely unaffected.
+    EnvGuard crash(dist::kTestCrashOnJobEnv, "killer");
+    TempDir dir;
+    serve::ServeOptions opts = isolatedOptions(dir, 2);
+    opts.jobAttempts = 2;
+    opts.poisonThreshold = 100; // never quarantine in this test
+    serve::SimServer server(opts);
+    server.start();
+
+    SimJob poison = tinyJob();
+    poison.experiment = "baseline-killer";
+    Client c(dir.sock());
+    c.send(requestFrame(poison, 41));
+    std::string reply = c.readLine();
+    EXPECT_TRUE(startsWith(reply, "{\"error\":\"internal\"")) << reply;
+    EXPECT_NE(reply.find("\"id\":41"), std::string::npos) << reply;
+
+    // Crash containment: a valid job right after is served and stays
+    // byte-identical to the direct run.
+    SimJob good = tinyJob();
+    c.send(requestFrame(good, 42));
+    std::string served = c.readLine();
+    SimResults direct = Simulator(good.cfg).run();
+    direct.experiment = good.experiment;
+    EXPECT_EQ(served, serde::resultRecordToJson(42, direct));
+
+    // The two worker deaths are visible as supervised restarts.
+    c.send("{\"op\":\"health\",\"id\":43}\n");
+    std::string health = c.readLine();
+    std::size_t at = health.find("\"restarts_total\":");
+    ASSERT_NE(at, std::string::npos) << health;
+    long restarts =
+        std::strtol(health.c_str() + at + 17, nullptr, 10);
+    EXPECT_GE(restarts, 2) << health;
+
+    server.beginDrain();
+    server.waitDrained();
+    EXPECT_EQ(server.stats().internalErrors.load(), 1u);
+    EXPECT_EQ(server.stats().completed.load(), 1u);
+}
+
+TEST(Serve, IsolatedPoisonJobIsQuarantined)
+{
+    EnvGuard crash(dist::kTestCrashOnJobEnv, "killer");
+    TempDir dir;
+    serve::ServeOptions opts = isolatedOptions(dir, 2);
+    opts.jobAttempts = 6;
+    opts.poisonThreshold = 2;
+    serve::SimServer server(opts);
+    server.start();
+
+    SimJob poison = tinyJob();
+    poison.experiment = "baseline-killer";
+    Client c(dir.sock());
+    c.send(requestFrame(poison, 51));
+    std::string reply = c.readLine();
+    EXPECT_TRUE(startsWith(reply, "{\"error\":\"poison\"")) << reply;
+    EXPECT_NE(reply.find("consecutive workers"), std::string::npos)
+        << reply;
+
+    // Resending the same job must be refused from the quarantine set
+    // without ever touching a worker again.
+    c.send(requestFrame(poison, 52));
+    reply = c.readLine();
+    EXPECT_TRUE(startsWith(reply, "{\"error\":\"poison\"")) << reply;
+    EXPECT_NE(reply.find("quarantined"), std::string::npos) << reply;
+
+    // The identical cfg under its real experiment name is a different
+    // fingerprint: still served, still byte-identical.
+    SimJob good = tinyJob();
+    c.send(requestFrame(good, 53));
+    std::string served = c.readLine();
+    SimResults direct = Simulator(good.cfg).run();
+    direct.experiment = good.experiment;
+    EXPECT_EQ(served, serde::resultRecordToJson(53, direct));
+
+    server.beginDrain();
+    server.waitDrained();
+    EXPECT_EQ(server.stats().poisonRejected.load(), 2u);
+    EXPECT_EQ(server.stats().completed.load(), 1u);
+}
+
+TEST(Serve, IsolatedDeadlineKillsTheWorkerMidJob)
+{
+    // Deadline semantics survive isolation: the fleet SIGKILLs the
+    // executing worker at the deadline and the client still gets the
+    // structured `deadline` error; the respawned worker then serves
+    // the next job normally.
+    TempDir dir;
+    serve::SimServer server(isolatedOptions(dir, 1));
+    server.start();
+
+    Client c(dir.sock());
+    c.send(requestFrame(tinyJob(500'000'000, 0), 61,
+                        /*deadlineMs=*/40));
+    std::string reply = c.readLine();
+    EXPECT_TRUE(startsWith(reply, "{\"error\":\"deadline\"")) << reply;
+    EXPECT_NE(reply.find("\"id\":61"), std::string::npos) << reply;
+
+    SimJob good = tinyJob();
+    c.send(requestFrame(good, 62));
+    std::string served = c.readLine();
+    SimResults direct = Simulator(good.cfg).run();
+    direct.experiment = good.experiment;
+    EXPECT_EQ(served, serde::resultRecordToJson(62, direct));
+
+    server.beginDrain();
+    server.waitDrained();
+    EXPECT_EQ(server.stats().deadlineCancelled.load(), 1u);
+    EXPECT_EQ(server.stats().completed.load(), 1u);
 }
