@@ -34,7 +34,8 @@ if [[ "${serve_mode}" == 1 ]]; then
     cmake --build "${build_dir}" -j"$(nproc)" \
         --target stsim_runner stsim_serve stsim_loadgen
 else
-    cmake --build "${build_dir}" -j"$(nproc)" --target microbench
+    cmake --build "${build_dir}" -j"$(nproc)" \
+        --target microbench stsim_runner
 fi
 
 # Fail loudly unless the tree we are about to measure is Release.
@@ -128,5 +129,56 @@ if grep -q '"library_build_type": "debug"' BENCH_microbench.json; then
     echo "libbenchmark or -DSTSIM_USE_STUB_BENCHMARK=ON when" >&2
     echo "recording baselines." >&2
 fi
+
+# Warmup-memoization sweep: one warmup-heavy job at six run lengths
+# (all one warmup class), dumped from scratch and with
+# --memoize-warmup. The memoized wave runs the warmup once instead of
+# six times; both wall-clocks land in BENCH_microbench.json as
+# warmup_sweep/{scratch,memoized} rows so the win has a recorded
+# trajectory alongside the kernel microbenchmarks.
+sweep_tmp="$(mktemp -d)"
+trap 'rm -rf "${sweep_tmp}"' EXIT
+for insts in 2000 4000 6000 8000 10000 12000; do
+    "${build_dir}/stsim_runner" manifest --suite golden \
+        --insts "${insts}" --warmup 50000 2>/dev/null | head -n 1
+done > "${sweep_tmp}/sweep.jsonl"
+
+# time_dump_ms EXTRA... -> milliseconds on stdout
+time_dump_ms() {
+    local t0 t1
+    t0=$(date +%s%N)
+    "${build_dir}/stsim_runner" dump \
+        --manifest "${sweep_tmp}/sweep.jsonl" --jobs 2 "$@" \
+        --out "${sweep_tmp}/out.jsonl" 2>/dev/null
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+scratch_ms=$(time_dump_ms)
+cp "${sweep_tmp}/out.jsonl" "${sweep_tmp}/scratch.jsonl"
+memo_ms=$(time_dump_ms --memoize-warmup)
+cmp "${sweep_tmp}/scratch.jsonl" "${sweep_tmp}/out.jsonl" || {
+    echo "error: memoized sweep output differs from scratch" >&2
+    exit 1
+}
+
+python3 - "${scratch_ms}" "${memo_ms}" <<'EOF'
+import json, sys
+scratch_ms, memo_ms = float(sys.argv[1]), float(sys.argv[2])
+with open("BENCH_microbench.json") as f:
+    doc = json.load(f)
+for name, ms in (("warmup_sweep/scratch", scratch_ms),
+                 ("warmup_sweep/memoized", memo_ms)):
+    doc["benchmarks"].append({
+        "name": name, "run_name": name, "run_type": "iteration",
+        "repetitions": 1, "repetition_index": 0, "threads": 1,
+        "iterations": 1, "real_time": ms, "cpu_time": ms,
+        "time_unit": "ms",
+    })
+with open("BENCH_microbench.json", "w") as f:
+    json.dump(doc, f, indent=2)
+EOF
+echo "warmup sweep: scratch ${scratch_ms} ms," \
+     "memoized ${memo_ms} ms (6 jobs, 1 warmup class)"
 
 echo "wrote BENCH_microbench.json"

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -32,6 +33,31 @@ Bimodal::update(Addr pc, std::uint64_t /*hist*/, bool taken)
         c.increment();
     else
         c.decrement();
+}
+
+void
+Bimodal::saveState(serde::StateWriter &w) const
+{
+    w.begin("bimodal");
+    std::vector<std::uint64_t> v(pht_.size());
+    for (std::size_t i = 0; i < pht_.size(); ++i)
+        v[i] = pht_[i].value();
+    w.u64Vec("pht", v);
+    w.end("bimodal");
+}
+
+void
+Bimodal::loadState(serde::StateReader &r)
+{
+    r.begin("bimodal");
+    std::vector<std::uint64_t> v = r.u64Vec("pht");
+    if (v.size() != pht_.size())
+        stsim_fatal("state: bimodal PHT size mismatch (snapshot %zu, "
+                    "configured %zu)",
+                    v.size(), pht_.size());
+    for (std::size_t i = 0; i < pht_.size(); ++i)
+        pht_[i].set(static_cast<unsigned>(v[i]));
+    r.end("bimodal");
 }
 
 } // namespace stsim

@@ -29,6 +29,9 @@ class Bimodal : public DirectionPredictor
 
     std::size_t numEntries() const { return pht_.size(); }
 
+    void saveState(serde::StateWriter &w) const override;
+    void loadState(serde::StateReader &r) override;
+
   private:
     std::size_t sizeBytes_;
     unsigned indexBits_;

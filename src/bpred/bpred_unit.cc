@@ -3,6 +3,7 @@
 #include "bpred/bimodal.hh"
 #include "bpred/gshare.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -122,6 +123,34 @@ BpredUnit::squashRestore(const TraceInst &inst,
         ras_.push(inst.pc + 4);
     else if (inst.cls == InstClass::Return)
         ras_.pop();
+}
+
+void
+BpredUnit::saveState(serde::StateWriter &w) const
+{
+    w.begin("bpred");
+    dirPred_->saveState(w);
+    btb_.saveState(w);
+    ras_.saveState(w);
+    w.u64("spec_hist", specHist_);
+    w.u64("lookups", lookups_);
+    w.u64("cond_updates", condUpdates_);
+    w.u64("cond_mispredicts", condMispredicts_);
+    w.end("bpred");
+}
+
+void
+BpredUnit::loadState(serde::StateReader &r)
+{
+    r.begin("bpred");
+    dirPred_->loadState(r);
+    btb_.loadState(r);
+    ras_.loadState(r);
+    specHist_ = r.u64("spec_hist");
+    lookups_ = r.u64("lookups");
+    condUpdates_ = r.u64("cond_updates");
+    condMispredicts_ = r.u64("cond_mispredicts");
+    r.end("bpred");
 }
 
 } // namespace stsim

@@ -106,6 +106,13 @@ class BpredUnit
         lookups_ = condUpdates_ = condMispredicts_ = 0;
     }
 
+    /**
+     * Checkpoint the whole front end: direction-predictor tables, BTB,
+     * RAS, speculative history, and counters.
+     */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
+
   private:
     std::unique_ptr<DirectionPredictor> dirPred_;
     Btb btb_;

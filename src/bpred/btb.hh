@@ -16,6 +16,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /** Set-associative BTB with LRU replacement. */
 class Btb
 {
@@ -40,6 +46,10 @@ class Btb
 
     /** Lookup hits. */
     Counter hits() const { return hits_; }
+
+    /** Checkpoint table contents + LRU clock + counters. */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     struct Entry

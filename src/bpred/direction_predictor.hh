@@ -14,6 +14,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /** Abstract PC(+history)-indexed taken/not-taken predictor. */
 class DirectionPredictor
 {
@@ -48,6 +54,10 @@ class DirectionPredictor
 
     /** History bits this predictor consumes (0 for bimodal). */
     virtual unsigned historyBits() const = 0;
+
+    /** Checkpoint the table contents (see core/state_serde.hh). */
+    virtual void saveState(serde::StateWriter &w) const = 0;
+    virtual void loadState(serde::StateReader &r) = 0;
 };
 
 } // namespace stsim

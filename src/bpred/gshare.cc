@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -40,6 +41,31 @@ Gshare::update(Addr pc, std::uint64_t hist, bool taken)
         c.increment();
     else
         c.decrement();
+}
+
+void
+Gshare::saveState(serde::StateWriter &w) const
+{
+    w.begin("gshare");
+    std::vector<std::uint64_t> v(pht_.size());
+    for (std::size_t i = 0; i < pht_.size(); ++i)
+        v[i] = pht_[i].value();
+    w.u64Vec("pht", v);
+    w.end("gshare");
+}
+
+void
+Gshare::loadState(serde::StateReader &r)
+{
+    r.begin("gshare");
+    std::vector<std::uint64_t> v = r.u64Vec("pht");
+    if (v.size() != pht_.size())
+        stsim_fatal("state: gshare PHT size mismatch (snapshot %zu, "
+                    "configured %zu)",
+                    v.size(), pht_.size());
+    for (std::size_t i = 0; i < pht_.size(); ++i)
+        pht_[i].set(static_cast<unsigned>(v[i]));
+    r.end("gshare");
 }
 
 } // namespace stsim

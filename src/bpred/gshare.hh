@@ -34,6 +34,9 @@ class Gshare : public DirectionPredictor
     /** Number of PHT entries. */
     std::size_t numEntries() const { return pht_.size(); }
 
+    void saveState(serde::StateWriter &w) const override;
+    void loadState(serde::StateReader &r) override;
+
   private:
     std::size_t index(Addr pc, std::uint64_t hist) const;
 

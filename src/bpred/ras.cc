@@ -1,6 +1,7 @@
 #include "ras.hh"
 
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -31,6 +32,30 @@ Ras::restore(const Checkpoint &cp)
 {
     top_ = cp.top;
     stack_[top_] = cp.topValue;
+}
+
+void
+Ras::saveState(serde::StateWriter &w) const
+{
+    w.begin("ras");
+    w.u64Vec("stack", stack_);
+    w.u64("top", top_);
+    w.end("ras");
+}
+
+void
+Ras::loadState(serde::StateReader &r)
+{
+    r.begin("ras");
+    std::vector<std::uint64_t> stack = r.u64Vec("stack");
+    if (stack.size() != stack_.size())
+        stsim_fatal("state: RAS size mismatch (snapshot %zu, "
+                    "configured %zu)",
+                    stack.size(), stack_.size());
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        stack_[i] = stack[i];
+    top_ = static_cast<std::uint32_t>(r.u64("top"));
+    r.end("ras");
 }
 
 } // namespace stsim

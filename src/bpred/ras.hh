@@ -15,6 +15,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /**
  * Circular return-address stack. Speculative pushes/pops are repaired
  * after a squash by restoring a (top index, top value) checkpoint, the
@@ -45,6 +51,10 @@ class Ras
     void restore(const Checkpoint &cp);
 
     std::size_t size() const { return stack_.size(); }
+
+    /** Checkpoint the full stack contents and top index. */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     std::vector<Addr> stack_;

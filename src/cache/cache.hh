@@ -17,6 +17,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /** Geometry/latency parameters of one cache level. */
 struct CacheConfig
 {
@@ -72,6 +78,10 @@ class Cache
         accesses_ = misses_ = wrongPathAccesses_ = pollutionEvictions_ = 0;
     }
     /// @}
+
+    /** Checkpoint lines, MRU hints, LRU clock, and counters. */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     struct Line

@@ -1,5 +1,7 @@
 #include "hierarchy.hh"
 
+#include "core/state_serde.hh"
+
 namespace stsim
 {
 
@@ -45,6 +47,28 @@ MemoryHierarchy::accessData(Addr addr, bool is_write, bool wrong_path)
     if (r.tlbMiss)
         r.latency += dtlb_.missPenalty();
     return r;
+}
+
+void
+MemoryHierarchy::saveState(serde::StateWriter &w) const
+{
+    w.begin("memory");
+    il1_.saveState(w);
+    dl1_.saveState(w);
+    l2_.saveState(w);
+    dtlb_.saveState(w);
+    w.end("memory");
+}
+
+void
+MemoryHierarchy::loadState(serde::StateReader &r)
+{
+    r.begin("memory");
+    il1_.loadState(r);
+    dl1_.loadState(r);
+    l2_.loadState(r);
+    dtlb_.loadState(r);
+    r.end("memory");
 }
 
 } // namespace stsim

@@ -67,6 +67,10 @@ class MemoryHierarchy
         dtlb_.resetStats();
     }
 
+    /** Checkpoint every level (see core/state_serde.hh). */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
+
   private:
     MemoryConfig cfg_;
     Cache il1_;

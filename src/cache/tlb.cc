@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -49,6 +50,46 @@ Tlb::access(Addr vaddr)
     entries_[slot].lastUse = ++useClock_;
     vpnIndex_.emplace(vpn, slot);
     return false;
+}
+
+void
+Tlb::saveState(serde::StateWriter &w) const
+{
+    w.begin("tlb");
+    std::vector<std::uint64_t> vpn(entries_.size());
+    std::vector<std::uint64_t> lastUse(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        vpn[i] = entries_[i].vpn;
+        lastUse[i] = entries_[i].lastUse;
+    }
+    w.u64Vec("vpn", vpn);
+    w.u64Vec("last_use", lastUse);
+    w.u64("use_clock", useClock_);
+    w.u64("accesses", accesses_);
+    w.u64("misses", misses_);
+    w.end("tlb");
+}
+
+void
+Tlb::loadState(serde::StateReader &r)
+{
+    r.begin("tlb");
+    std::vector<std::uint64_t> vpn = r.u64Vec("vpn");
+    std::vector<std::uint64_t> lastUse = r.u64Vec("last_use");
+    if (vpn.size() > capacity_)
+        stsim_fatal("state: TLB snapshot has %zu entries but only %zu "
+                    "fit",
+                    vpn.size(), capacity_);
+    entries_.clear();
+    vpnIndex_.clear();
+    for (std::size_t i = 0; i < vpn.size(); ++i) {
+        entries_.push_back(Entry{vpn[i], lastUse[i]});
+        vpnIndex_.emplace(vpn[i], static_cast<std::uint32_t>(i));
+    }
+    useClock_ = r.u64("use_clock");
+    accesses_ = r.u64("accesses");
+    misses_ = r.u64("misses");
+    r.end("tlb");
 }
 
 } // namespace stsim

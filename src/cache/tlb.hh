@@ -15,6 +15,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /** Fully-associative LRU TLB. */
 class Tlb
 {
@@ -36,6 +42,13 @@ class Tlb
 
     /** Zero counters (end of warmup); contents stay warm. */
     void resetStats() { accesses_ = misses_ = 0; }
+
+    /**
+     * Checkpoint resident pages + LRU clock; the hash index is rebuilt
+     * on load (it is never iterated, so its layout is not state).
+     */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     struct Entry

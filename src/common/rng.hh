@@ -85,6 +85,22 @@ class Rng
         return n;
     }
 
+    /**
+     * Raw engine state, for checkpointing. Restoring via setState
+     * resumes the stream exactly where state() observed it.
+     */
+    std::uint64_t stateS0() const { return s0_; }
+    std::uint64_t stateS1() const { return s1_; }
+
+    void
+    setState(std::uint64_t s0, std::uint64_t s1)
+    {
+        s0_ = s0;
+        s1_ = s1;
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
   private:
     std::uint64_t s0_;
     std::uint64_t s1_;

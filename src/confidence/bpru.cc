@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -86,6 +87,47 @@ BpruEstimator::update(Addr pc, std::uint64_t hist, bool correct)
         unsigned v = e.counter + params_.missInc;
         e.counter = static_cast<std::uint8_t>(v > 7 ? 7 : v);
     }
+}
+
+void
+BpruEstimator::saveState(serde::StateWriter &w) const
+{
+    w.begin("confidence");
+    std::vector<std::uint64_t> valid(table_.size());
+    std::vector<std::uint64_t> tag(table_.size());
+    std::vector<std::uint64_t> counter(table_.size());
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        valid[i] = table_[i].valid ? 1 : 0;
+        tag[i] = table_[i].tag;
+        counter[i] = table_[i].counter;
+    }
+    w.u64Vec("valid", valid);
+    w.u64Vec("tag", tag);
+    w.u64Vec("counter", counter);
+    w.u64("lookups", lookups_);
+    w.u64("hits", hits_);
+    w.end("confidence");
+}
+
+void
+BpruEstimator::loadState(serde::StateReader &r)
+{
+    r.begin("confidence");
+    std::vector<std::uint64_t> valid = r.u64Vec("valid");
+    std::vector<std::uint64_t> tag = r.u64Vec("tag");
+    std::vector<std::uint64_t> counter = r.u64Vec("counter");
+    if (valid.size() != table_.size())
+        stsim_fatal("state: BPRU table size mismatch (snapshot %zu, "
+                    "configured %zu)",
+                    valid.size(), table_.size());
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        table_[i].valid = valid[i] != 0;
+        table_[i].tag = static_cast<std::uint32_t>(tag[i]);
+        table_[i].counter = static_cast<std::uint8_t>(counter[i]);
+    }
+    lookups_ = r.u64("lookups");
+    hits_ = r.u64("hits");
+    r.end("confidence");
 }
 
 } // namespace stsim

@@ -82,6 +82,9 @@ class BpruEstimator : public ConfidenceEstimator
         return lookups_ ? static_cast<double>(hits_) / lookups_ : 0.0;
     }
 
+    void saveState(serde::StateWriter &w) const override;
+    void loadState(serde::StateReader &r) override;
+
   private:
     struct Entry
     {

@@ -68,6 +68,14 @@ class ConfidenceEstimator
 
     /** Hardware budget in bytes (Figure 7 sizing). */
     virtual std::size_t sizeBytes() const = 0;
+
+    /**
+     * Checkpoint estimator tables (see core/state_serde.hh). The
+     * defaults write/expect an empty section -- right for stateless
+     * estimators (the oracle); table-backed ones override both.
+     */
+    virtual void saveState(serde::StateWriter &w) const;
+    virtual void loadState(serde::StateReader &r);
 };
 
 } // namespace stsim

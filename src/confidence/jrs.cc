@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -46,6 +47,48 @@ JrsEstimator::update(Addr pc, std::uint64_t hist, bool correct)
         c.increment();
     else
         c.reset(); // miss distance counter: any miss clears it
+}
+
+void
+JrsEstimator::saveState(serde::StateWriter &w) const
+{
+    w.begin("confidence");
+    std::vector<std::uint64_t> v(table_.size());
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        v[i] = table_[i].value();
+    w.u64Vec("mdc", v);
+    w.end("confidence");
+}
+
+void
+JrsEstimator::loadState(serde::StateReader &r)
+{
+    r.begin("confidence");
+    std::vector<std::uint64_t> v = r.u64Vec("mdc");
+    if (v.size() != table_.size())
+        stsim_fatal("state: JRS table size mismatch (snapshot %zu, "
+                    "configured %zu)",
+                    v.size(), table_.size());
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        table_[i].set(static_cast<unsigned>(v[i]));
+    r.end("confidence");
+}
+
+// The base-class defaults serialize an empty section: stateless
+// estimators (the oracle) round-trip as a tagged placeholder, so the
+// snapshot layout is uniform across confidence kinds.
+void
+ConfidenceEstimator::saveState(serde::StateWriter &w) const
+{
+    w.begin("confidence");
+    w.end("confidence");
+}
+
+void
+ConfidenceEstimator::loadState(serde::StateReader &r)
+{
+    r.begin("confidence");
+    r.end("confidence");
 }
 
 const char *

@@ -12,6 +12,7 @@
 
 #include "common/types.hh"
 #include "confidence/estimator.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -98,6 +99,28 @@ class ConfMetrics
     missCount(ConfLevel lvl) const
     {
         return missByLevel_[static_cast<std::size_t>(lvl)];
+    }
+
+    void
+    saveState(serde::StateWriter &w) const
+    {
+        w.begin("conf_metrics");
+        w.u64Array("correct_by_level", correctByLevel_.data(), 4);
+        w.u64Array("miss_by_level", missByLevel_.data(), 4);
+        w.end("conf_metrics");
+    }
+
+    void
+    loadState(serde::StateReader &r)
+    {
+        r.begin("conf_metrics");
+        std::vector<std::uint64_t> c = r.u64Vec("correct_by_level");
+        std::vector<std::uint64_t> m = r.u64Vec("miss_by_level");
+        for (std::size_t i = 0; i < 4; ++i) {
+            correctByLevel_[i] = c.at(i);
+            missByLevel_[i] = m.at(i);
+        }
+        r.end("conf_metrics");
     }
 
   private:

@@ -1140,10 +1140,12 @@ class FlatScanner
 
 } // namespace
 
-bool
-tryParseFlat(std::string_view json, std::vector<FlatField> &out)
+ParseOutcome
+parseFlat(std::string_view json, std::vector<FlatField> &out)
 {
-    return FlatScanner(json).scan(out);
+    if (FlatScanner(json).scan(out))
+        return ParseOutcome{};
+    return ParseOutcome{false, "malformed flat record"};
 }
 
 std::string
@@ -1218,9 +1220,8 @@ jobFromJson(std::string_view json)
     return j;
 }
 
-bool
-tryParseServeRequest(std::string_view json, ServeRequest &out,
-                     std::string &err)
+ParseOutcome
+parseServeRequest(std::string_view json, ServeRequest &out)
 {
     // Every fatal the strict parser / config decoder raises on this
     // thread while the scope is active becomes a FatalError caught
@@ -1234,24 +1235,60 @@ tryParseServeRequest(std::string_view json, ServeRequest &out,
         if (const JVal *op = v.find("op")) {
             if (op->asStr() == "ping") {
                 out.ping = true;
-                return true;
+                return ParseOutcome{};
             }
             if (op->asStr() == "health") {
                 out.health = true;
-                return true;
+                return ParseOutcome{};
             }
-            err = "unknown op '" + op->asStr() + "'";
-            return false;
+            return ParseOutcome{false,
+                                "unknown op '" + op->asStr() + "'"};
         }
         if (const JVal *dl = v.find("deadlineMs"))
             out.deadlineMs = dl->asU64();
         out.job.experiment = v.at("experiment").asStr();
         out.job.cfg = configFromJVal(v.at("cfg"));
-        return true;
+        return ParseOutcome{};
     } catch (const FatalError &e) {
-        err = e.what();
-        return false;
+        return ParseOutcome{false, e.what()};
     }
+}
+
+namespace
+{
+
+/** Shared body of the non-fatal DOM-parse wrappers. */
+template <typename Fn>
+ParseOutcome
+captureFatal(Fn &&fn)
+{
+    FatalCaptureScope scope;
+    try {
+        fn();
+        return ParseOutcome{};
+    } catch (const FatalError &e) {
+        return ParseOutcome{false, e.what()};
+    }
+}
+
+} // namespace
+
+ParseOutcome
+parseJob(std::string_view json, SimJob &out)
+{
+    return captureFatal([&] { out = jobFromJson(json); });
+}
+
+ParseOutcome
+parseConfig(std::string_view json, SimConfig &out)
+{
+    return captureFatal([&] { out = configFromJson(json); });
+}
+
+ParseOutcome
+parseResults(std::string_view json, SimResults &out)
+{
+    return captureFatal([&] { out = resultsFromJson(json); });
 }
 
 std::string

@@ -81,14 +81,30 @@ struct ServeRequest
 };
 
 /**
- * Parse a request frame without fataling on hostile input: returns
- * false and fills @p err on any malformed frame (bad JSON, missing
- * keys, wrong types -- anything the strict parser or config decoder
- * rejects). The daemon's front door: garbage must become an error
- * reply, never a process exit.
+ * Result of a non-fatal parse entry point. Truthiness is success;
+ * on failure `error` carries the strict parser's diagnostic. One
+ * result shape for every parse surface (serve requests, flat records,
+ * manifest jobs, configs, results) -- callers that used to pick
+ * between a bool + out-param style and a fatal DOM style now all
+ * write `if (ParseOutcome p = parseX(...)) ... else use(p.error)`.
  */
-bool tryParseServeRequest(std::string_view json, ServeRequest &out,
-                          std::string &err);
+struct ParseOutcome
+{
+    bool ok = true;
+    std::string error;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Parse a request frame without fataling on hostile input: any
+ * malformed frame (bad JSON, missing keys, wrong types -- anything
+ * the strict parser or config decoder rejects) yields a failed
+ * outcome carrying the diagnostic. The daemon's front door: garbage
+ * must become an error reply, never a process exit.
+ */
+ParseOutcome parseServeRequest(std::string_view json,
+                               ServeRequest &out);
 
 /**
  * Writer for flat single-line JSON records (string / unsigned-integer
@@ -125,11 +141,21 @@ struct FlatField
 
 /**
  * Parse a flat single-line JSON record (the FlatWriter shape) without
- * fataling: returns false on malformed input. Journal replay uses
- * this to drop a torn trailing line after a dispatcher crash instead
- * of refusing to resume.
+ * fataling. Journal replay uses the failed outcome to drop a torn
+ * trailing line after a dispatcher crash instead of refusing to
+ * resume.
  */
-bool tryParseFlat(std::string_view json, std::vector<FlatField> &out);
+ParseOutcome parseFlat(std::string_view json,
+                       std::vector<FlatField> &out);
+
+/** Non-fatal form of jobFromJson. */
+ParseOutcome parseJob(std::string_view json, SimJob &out);
+
+/** Non-fatal form of configFromJson. */
+ParseOutcome parseConfig(std::string_view json, SimConfig &out);
+
+/** Non-fatal form of resultsFromJson. */
+ParseOutcome parseResults(std::string_view json, SimResults &out);
 
 /** Bit-exact hex-float encoding of a double ("%a"). */
 std::string doubleToHex(double d);

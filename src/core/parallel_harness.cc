@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/logging.hh"
 #include "core/cancel.hh"
 #include "core/harness.hh"
 #include "core/results_sink.hh"
@@ -35,12 +36,50 @@ reorderWindow(std::size_t workers)
     return std::max<std::size_t>(std::size_t{2} * workers, 4);
 }
 
+/**
+ * One warmup-equivalence class of a memoized wave: whichever of its
+ * jobs starts first runs the warmup and publishes the snapshot; every
+ * other job of the class waits for it, and every job (builder
+ * included) forks a fresh Simulator from the snapshot. The builder is
+ * never gate-blocked (it already passed the start gate), so waiting on
+ * it cannot deadlock the reorder window.
+ */
+struct WarmupClass
+{
+    enum class State : std::uint8_t
+    {
+        Unbuilt,  ///< nobody has claimed the warmup yet
+        Building, ///< a job is running the warmup now
+        Ready,    ///< snapshot is published
+        Aborted,  ///< the builder threw; waiters must bail out
+    };
+
+    State state = State::Unbuilt;
+    std::string snapshot;
+    std::size_t remaining = 0; ///< jobs still needing the snapshot
+};
+
 } // namespace
 
 StreamStats
 runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
         unsigned workers, const CancelToken *cancel)
 {
+    RunOptions opts;
+    opts.workers = workers;
+    opts.cancel = cancel;
+    return runJobs(jobs, sink, opts);
+}
+
+StreamStats
+runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
+        const RunOptions &opts)
+{
+    stsim_assert(!(opts.memoizeWarmup && opts.fromSnapshot),
+                 "memoizeWarmup and fromSnapshot are mutually "
+                 "exclusive");
+    unsigned workers = opts.workers;
+    const CancelToken *cancel = opts.cancel;
     StreamStats stats;
     if (jobs.empty()) {
         sink.flush();
@@ -62,6 +101,84 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
     pool.parallelFor(names.size(), [&](std::size_t i) {
         Simulator::programFor(names[i]);
     });
+
+    // Memoized warmup: group the wave by warmup class up front. The
+    // key computation is pure config serialization -- trivial next to
+    // a single simulated cycle.
+    std::mutex cacheMu;
+    std::condition_variable cacheCv;
+    std::vector<WarmupClass> classes;
+    std::vector<std::size_t> jobClass(jobs.size(), 0);
+    if (opts.memoizeWarmup) {
+        std::map<std::string, std::size_t> byKey;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            std::string key = Simulator::warmupClassKey(jobs[i].cfg);
+            auto [it, inserted] =
+                byKey.emplace(std::move(key), classes.size());
+            if (inserted)
+                classes.emplace_back();
+            jobClass[i] = it->second;
+            ++classes[it->second].remaining;
+        }
+    }
+
+    /** Run job @p i forked from its class's (possibly fresh) warmup. */
+    auto runMemoized = [&](std::size_t i) {
+        WarmupClass &wc = classes[jobClass[i]];
+        bool builder = false;
+        {
+            std::unique_lock<std::mutex> lock(cacheMu);
+            if (wc.state == WarmupClass::State::Unbuilt) {
+                wc.state = WarmupClass::State::Building;
+                builder = true;
+            } else {
+                cacheCv.wait(lock, [&] {
+                    return wc.state == WarmupClass::State::Ready ||
+                           wc.state == WarmupClass::State::Aborted;
+                });
+                if (wc.state == WarmupClass::State::Aborted)
+                    throw JobCancelled();
+            }
+        }
+        if (builder) {
+            try {
+                Simulator warm(jobs[i].cfg);
+                warm.runWarmup(cancel);
+                std::string snap = warm.saveSnapshot();
+                std::lock_guard<std::mutex> lock(cacheMu);
+                wc.snapshot = std::move(snap);
+                wc.state = WarmupClass::State::Ready;
+                ++stats.warmupsRun;
+                cacheCv.notify_all();
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(cacheMu);
+                    wc.state = WarmupClass::State::Aborted;
+                }
+                cacheCv.notify_all();
+                throw;
+            }
+        }
+
+        // Every job of the class -- the builder included -- forks a
+        // fresh machine from the snapshot, so the restore path is
+        // exercised on all of them and memoized results are bitwise
+        // identical to scratch results. The snapshot string is stable
+        // here: it is only freed when the last job of the class
+        // decrements `remaining`, which cannot happen before this job
+        // has restored.
+        Simulator sim(jobs[i].cfg);
+        sim.restoreSnapshot(wc.snapshot);
+        SimResults r = sim.run(cancel);
+        {
+            std::lock_guard<std::mutex> lock(cacheMu);
+            if (--wc.remaining == 0) {
+                wc.snapshot.clear();
+                wc.snapshot.shrink_to_fit();
+            }
+        }
+        return r;
+    };
 
     // In-order streaming commit with a bounded reorder window. A
     // worker may not *start* job i until i is within `window` of the
@@ -93,7 +210,15 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
                 // worker, so a fired token always surfaces.
                 if (cancel && cancel->cancelled())
                     throw JobCancelled();
-                r = Simulator(jobs[i].cfg).run(cancel);
+                if (opts.memoizeWarmup) {
+                    r = runMemoized(i);
+                } else if (opts.fromSnapshot) {
+                    Simulator sim(jobs[i].cfg);
+                    sim.restoreSnapshot(*opts.fromSnapshot);
+                    r = sim.run(cancel);
+                } else {
+                    r = Simulator(jobs[i].cfg).run(cancel);
+                }
             } catch (...) {
                 // This job's result will never reach `pending`, so the
                 // frontier is stuck: release every gate-blocked worker
@@ -110,6 +235,8 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
             std::lock_guard<std::mutex> lock(mu);
             if (aborted)
                 return;
+            if (!opts.memoizeWarmup && !opts.fromSnapshot)
+                ++stats.warmupsRun; // scratch jobs warm up themselves
             pending.emplace(i, std::move(r));
             stats.maxPending =
                 std::max(stats.maxPending, pending.size());
@@ -165,6 +292,15 @@ runJobs(const std::vector<SimJob> &jobs, unsigned workers)
     std::vector<SimResults> results(jobs.size());
     VectorSink sink(results);
     runJobs(jobs, sink, workers);
+    return results;
+}
+
+std::vector<SimResults>
+runJobs(const std::vector<SimJob> &jobs, const RunOptions &opts)
+{
+    std::vector<SimResults> results(jobs.size());
+    VectorSink sink(results);
+    runJobs(jobs, sink, opts);
     return results;
 }
 

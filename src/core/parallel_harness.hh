@@ -42,6 +42,45 @@ struct StreamStats
      * guarantee a big sweep relies on.
      */
     std::size_t maxPending = 0;
+
+    /**
+     * Warmup phases actually executed (memoized waves only; equals the
+     * job count otherwise). With memoization this is the number of
+     * distinct warmup-equivalence classes -- at most one warmup per
+     * class, which is the memoization win being measured.
+     */
+    std::size_t warmupsRun = 0;
+};
+
+/** Knobs for a runJobs wave. */
+struct RunOptions
+{
+    /** Worker threads; 0 resolves STSIM_JOBS / hardware. */
+    unsigned workers = 0;
+
+    /** Cooperative cancellation; may be null. */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Warmup once per warmup-equivalence class
+     * (Simulator::warmupClassKey) and fork every job of the class from
+     * the in-memory snapshot. Every job -- including the one that ran
+     * the warmup -- restores into a fresh Simulator from the snapshot,
+     * so a memoized wave is bitwise identical to a scratch wave; only
+     * the repeated warmups are saved. Snapshots are reference-counted
+     * and freed as soon as the last job of a class has restored.
+     */
+    bool memoizeWarmup = false;
+
+    /**
+     * Fork every job of the wave from this pre-warmed snapshot
+     * (Simulator::saveSnapshot image) instead of running its own
+     * warmup. All jobs must share the snapshot's warmup class
+     * (Simulator::restoreSnapshot fatals otherwise), the pointed-to
+     * string must outlive the wave, and the option is mutually
+     * exclusive with memoizeWarmup.
+     */
+    const std::string *fromSnapshot = nullptr;
 };
 
 /**
@@ -69,12 +108,20 @@ StreamStats runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
                     unsigned workers = 0,
                     const CancelToken *cancel = nullptr);
 
+/** Full-options form of the streaming engine. */
+StreamStats runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
+                    const RunOptions &opts);
+
 /**
  * Convenience wrapper over the streaming engine for callers that want
  * the whole wave in memory: returns results in submission order.
  */
 std::vector<SimResults> runJobs(const std::vector<SimJob> &jobs,
                                 unsigned workers = 0);
+
+/** In-memory wrapper with full options. */
+std::vector<SimResults> runJobs(const std::vector<SimJob> &jobs,
+                                const RunOptions &opts);
 
 } // namespace stsim
 

@@ -8,6 +8,8 @@
 #include "confidence/bpru.hh"
 #include "confidence/jrs.hh"
 #include "confidence/perfect.hh"
+#include "core/job_serde.hh"
+#include "core/state_serde.hh"
 #include "trace/profile.hh"
 
 namespace stsim
@@ -135,21 +137,29 @@ Simulator::~Simulator() = default;
 SimResults
 Simulator::run(const CancelToken *cancel)
 {
+    if (phase_ == Phase::Warmup)
+        runWarmup(cancel);
+    return runMeasure(cancel);
+}
+
+void
+Simulator::runWarmup(const CancelToken *cancel)
+{
+    if (phase_ != Phase::Warmup)
+        return;
+
     // Poll cadence for cooperative cancellation: every 2048 cycles is
     // frequent enough that a deadline fires within microseconds of
     // wall time, and rare enough to be invisible in the profile.
     constexpr Cycle kCancelPollMask = 2047;
-    auto pollCancel = [&] {
-        if (cancel && (core_->now() & kCancelPollMask) == 0 &&
-            cancel->cancelled()) {
-            throw JobCancelled();
-        }
-    };
 
     // Warmup: trains caches/predictors, then statistics reset.
     while (core_->stats().committedInsts < cfg_.warmupInstructions) {
         core_->tick();
-        pollCancel();
+        if (cancel && (core_->now() & kCancelPollMask) == 0 &&
+            cancel->cancelled()) {
+            throw JobCancelled();
+        }
     }
     core_->resetStats();
     power_->resetStats();
@@ -157,6 +167,21 @@ Simulator::run(const CancelToken *cancel)
 
     // Cache stats reset so reported miss rates exclude cold start.
     memory_->resetStats();
+    phase_ = Phase::Measure;
+}
+
+SimResults
+Simulator::runMeasure(const CancelToken *cancel)
+{
+    stsim_assert(phase_ == Phase::Measure,
+                 "runMeasure before warmup completed");
+    constexpr Cycle kCancelPollMask = 2047;
+    auto pollCancel = [&] {
+        if (cancel && (core_->now() & kCancelPollMask) == 0 &&
+            cancel->cancelled()) {
+            throw JobCancelled();
+        }
+    };
 
     const Cycle max_cycles =
         static_cast<Cycle>(cfg_.maxInstructions) * 64 + 1'000'000;
@@ -194,6 +219,64 @@ Simulator::run(const CancelToken *cancel)
     r.dl1MissRate = memory_->dl1().missRate();
     r.l2MissRate = memory_->l2().missRate();
     return r;
+}
+
+std::string
+Simulator::warmupClassKey(const SimConfig &cfg)
+{
+    SimConfig key = cfg;
+    key.finalize(); // idempotent; normalizes derived parameters
+    key.maxInstructions = 0;
+    key.power = PowerParams{};
+    return serde::toJson(key);
+}
+
+std::string
+Simulator::saveSnapshot() const
+{
+    serde::StateWriter w;
+    w.begin("sim");
+    w.str("class_key", warmupClassKey(cfg_));
+    w.u64("phase", static_cast<std::uint64_t>(phase_));
+    workload_->saveState(w);
+    bpred_->saveState(w);
+    if (confidence_)
+        confidence_->saveState(w);
+    memory_->saveState(w);
+    power_->saveState(w);
+    controller_->saveState(w);
+    core_->saveState(w);
+    w.end("sim");
+    return w.take();
+}
+
+void
+Simulator::restoreSnapshot(std::string_view image)
+{
+    serde::StateReader r(image);
+    r.begin("sim");
+    std::string key = r.str("class_key");
+    std::string want = warmupClassKey(cfg_);
+    if (key != want)
+        stsim_fatal("state: snapshot is for a different warmup class "
+                    "(benchmark/seed/machine/predictor/throttle config "
+                    "must match; only run length and power parameters "
+                    "may differ)");
+    std::uint64_t phase = r.u64("phase");
+    if (phase > static_cast<std::uint64_t>(Phase::Measure))
+        stsim_fatal("state: bad simulator phase %llu",
+                    static_cast<unsigned long long>(phase));
+    phase_ = static_cast<Phase>(phase);
+    workload_->loadState(r);
+    bpred_->loadState(r);
+    if (confidence_)
+        confidence_->loadState(r);
+    memory_->loadState(r);
+    power_->loadState(r);
+    controller_->loadState(r);
+    core_->loadState(r);
+    r.end("sim");
+    r.finish();
 }
 
 RelativeMetrics

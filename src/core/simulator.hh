@@ -18,6 +18,8 @@
 #define STSIM_CORE_SIMULATOR_HH
 
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "bpred/bpred_unit.hh"
 #include "cache/hierarchy.hh"
@@ -51,6 +53,42 @@ class Simulator
      */
     SimResults run(const CancelToken *cancel = nullptr);
 
+    /**
+     * Run (or finish) the warmup phase only: train predictors/caches,
+     * then reset the event counters exactly as run() would. Afterwards
+     * the simulator sits at the first measured cycle -- the natural
+     * point to saveSnapshot() and fork measurement sweeps from. No-op
+     * when warmup has already completed.
+     */
+    void runWarmup(const CancelToken *cancel = nullptr);
+
+    /**
+     * Serialize the complete machine state (between ticks) into a
+     * snapshot image. A fresh Simulator with an equivalent config that
+     * restoreSnapshot()s this image and then run()s produces results
+     * bitwise identical to an uninterrupted run.
+     */
+    std::string saveSnapshot() const;
+
+    /**
+     * Restore state written by saveSnapshot(). Fatals unless this
+     * simulator's warmupClassKey() matches the snapshot's (same
+     * benchmark, seed, machine, predictor and throttle config; only
+     * the run length and power parameters may differ).
+     */
+    void restoreSnapshot(std::string_view image);
+
+    /**
+     * Canonical identity of the warmup-equivalence class of @p cfg:
+     * the finalized config serialized as JSON with the fields that
+     * cannot influence post-warmup architectural state masked out --
+     * the measured-instruction budget and the power parameters (power
+     * is purely observational and its accumulators are zeroed when
+     * warmup ends). Two jobs with equal keys may share one warmup
+     * snapshot.
+     */
+    static std::string warmupClassKey(const SimConfig &cfg);
+
     /** Access the core (tests/diagnostics). */
     Core &core() { return *core_; }
     const SimConfig &config() const { return cfg_; }
@@ -66,7 +104,18 @@ class Simulator
     programFor(const std::string &benchmark);
 
   private:
+    /** Where the run stands; serialized, so snapshots resume exactly. */
+    enum class Phase : std::uint8_t
+    {
+        Warmup,  ///< still training (or never ticked)
+        Measure, ///< stats reset done; measuring
+    };
+
+    /** The measurement loop + result assembly (phase_ == Measure). */
+    SimResults runMeasure(const CancelToken *cancel);
+
     SimConfig cfg_;
+    Phase phase_ = Phase::Warmup;
     std::unique_ptr<Workload> workload_;
     std::unique_ptr<BpredUnit> bpred_;
     std::unique_ptr<ConfidenceEstimator> confidence_;

@@ -16,8 +16,10 @@
  *            [--out FILE]
  *   run      --manifest FILE [--shard I/N] [--jobs W]
  *            [--timeout-sec S] [--format jsonl|csv] [--out FILE]
+ *            [--memoize-warmup] [--from-snapshot FILE]
  *   dump     --manifest FILE [--jobs W] [--format jsonl|csv]
- *            [--out FILE]
+ *            [--out FILE] [--memoize-warmup] [--from-snapshot FILE]
+ *   snapshot --manifest FILE [--index I] [--out FILE]
  *   merge    --out FILE (--manifest FILE | --expect N) [--allow-dups]
  *            SHARD...
  *   dispatch --manifest FILE --dir DIR [--shards N] ...
@@ -31,6 +33,14 @@
  * workers are subprocesses tracked through a crash-safe journal,
  * failed or straggling shards retry, and a SIGKILLed dispatcher picks
  * up exactly where the journal ends via resume.
+ *
+ * snapshot / --from-snapshot / --memoize-warmup expose the warmup
+ * checkpoint API (core/state_serde.hh): `snapshot` runs one job's
+ * warmup and writes the machine-state checkpoint; `run`/`dump
+ * --from-snapshot` fork every job from that on-disk checkpoint, and
+ * `--memoize-warmup` warms each distinct warmup-equivalence class
+ * once per wave in memory. All of them commit results byte-identical
+ * to from-scratch runs (the snapshot-equivalence CI gate).
  */
 
 #include <cerrno>
@@ -42,6 +52,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +60,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "common/arg_parse.hh"
 #include "common/logging.hh"
 #include "core/job_serde.hh"
 #include "core/parallel_harness.hh"
@@ -72,9 +84,14 @@ printUsage(std::FILE *to)
         "[--warmup N] [--depth D] [--out FILE]\n"
         "  stsim_runner run --manifest FILE [--shard I/N] "
         "[--jobs W] [--timeout-sec S]\n"
-        "               [--format jsonl|csv] [--out FILE]\n"
+        "               [--format jsonl|csv] [--out FILE] "
+        "[--memoize-warmup]\n"
+        "               [--from-snapshot FILE]\n"
         "  stsim_runner dump --manifest FILE [--jobs W] "
         "[--format jsonl|csv] [--out FILE]\n"
+        "               [--memoize-warmup] [--from-snapshot FILE]\n"
+        "  stsim_runner snapshot --manifest FILE [--index I] "
+        "[--out FILE]\n"
         "  stsim_runner merge --out FILE (--manifest FILE | "
         "--expect N) [--allow-dups] SHARD...\n"
         "  stsim_runner dispatch --manifest FILE --dir DIR "
@@ -97,7 +114,19 @@ printUsage(std::FILE *to)
         "journal (DIR/journal.jsonl); after any crash, resume "
         "re-launches only unfinished\n"
         "shards. Completed shard files are immutable "
-        "(exclusive-rename finalize).\n");
+        "(exclusive-rename finalize).\n"
+        "\n"
+        "snapshot runs one manifest job's warmup (--index, default 0) "
+        "and writes its\n"
+        "machine-state checkpoint; run/dump --from-snapshot fork every "
+        "job from that\n"
+        "checkpoint (every job must share the snapshot's warmup class: "
+        "only run length\n"
+        "and power parameters may differ). --memoize-warmup instead "
+        "warms each distinct\n"
+        "class once per wave, in memory. Both commit results "
+        "byte-identical to\n"
+        "from-scratch runs.\n");
 }
 
 [[noreturn]] void
@@ -109,22 +138,6 @@ usage(const char *msg = nullptr)
     std::exit(2);
 }
 
-/** Flag cursor: `need("--flag")` consumes and returns its value. */
-struct Args
-{
-    int argc;
-    char **argv;
-    int i = 2;
-
-    const char *
-    need(const char *flag)
-    {
-        if (i + 1 >= argc)
-            usage((std::string(flag) + " needs a value").c_str());
-        return argv[++i];
-    }
-};
-
 std::uint64_t
 parseU64(const char *s, const char *what)
 {
@@ -133,6 +146,28 @@ parseU64(const char *s, const char *what)
     if (!end || *end != '\0')
         usage((std::string("bad ") + what + " '" + s + "'").c_str());
     return v;
+}
+
+/**
+ * The runner's diagnostic style for the shared FlagSet parser: every
+ * parse error is a usage() exit-2 with the exact historical message
+ * shapes ("X needs a value", "bad X 'V'", "unknown flag X"), asserted
+ * verbatim in tests/test_runner_cli.cc.
+ */
+args::Diag
+runnerDiag()
+{
+    args::Diag d;
+    d.missingValue = [](const char *flag) {
+        usage((std::string(flag) + " needs a value").c_str());
+    };
+    d.unknown = [](const char *arg) {
+        usage(("unknown flag " + std::string(arg)).c_str());
+    };
+    d.parseU64 = [](const char *flag, const char *value) {
+        return parseU64(value, flag);
+    };
+    return d;
 }
 
 /** Output stream selection: --out FILE or stdout. */
@@ -209,6 +244,19 @@ class HangAfterFirstRecordSink : public ResultsSink
     bool hung_ = false;
 };
 
+/** Whole-file read for snapshot images (newlines are significant). */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        stsim_fatal("cannot read '%s': %s", path.c_str(),
+                    std::strerror(errno));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
 std::vector<std::string>
 readLines(const std::string &path)
 {
@@ -226,24 +274,17 @@ readLines(const std::string &path)
 }
 
 int
-cmdManifest(Args &a)
+cmdManifest(int argc, char **argv)
 {
     std::string suite, out_path;
     std::uint64_t insts = 0, warmup = 0, depth = 0;
-    for (; a.i < a.argc; ++a.i) {
-        if (!std::strcmp(a.argv[a.i], "--suite"))
-            suite = a.need("--suite");
-        else if (!std::strcmp(a.argv[a.i], "--insts"))
-            insts = parseU64(a.need("--insts"), "--insts");
-        else if (!std::strcmp(a.argv[a.i], "--warmup"))
-            warmup = parseU64(a.need("--warmup"), "--warmup");
-        else if (!std::strcmp(a.argv[a.i], "--depth"))
-            depth = parseU64(a.need("--depth"), "--depth");
-        else if (!std::strcmp(a.argv[a.i], "--out"))
-            out_path = a.need("--out");
-        else
-            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
-    }
+    args::FlagSet fs(runnerDiag());
+    fs.str("--suite", "NAME", &suite)
+        .u64("--insts", "N", &insts)
+        .u64("--warmup", "N", &warmup)
+        .u64("--depth", "D", &depth)
+        .str("--out", "FILE", &out_path);
+    fs.parse(argc, argv, 2);
     if (suite.empty())
         usage("manifest needs --suite");
 
@@ -286,17 +327,17 @@ runTimeoutHandler(int)
 }
 
 int
-cmdRunOrDump(Args &a, bool sharded)
+cmdRunOrDump(int argc, char **argv, bool sharded)
 {
-    std::string manifest, out_path, format;
+    std::string manifest, out_path, format, snapshot_path;
     std::uint64_t shard = 0, shards = 1;
     std::uint64_t timeoutSec = 0;
     unsigned workers = 0;
-    for (; a.i < a.argc; ++a.i) {
-        if (!std::strcmp(a.argv[a.i], "--manifest"))
-            manifest = a.need("--manifest");
-        else if (sharded && !std::strcmp(a.argv[a.i], "--shard")) {
-            const char *spec = a.need("--shard");
+    bool memoize = false;
+    args::FlagSet fs(runnerDiag());
+    fs.str("--manifest", "FILE", &manifest);
+    if (sharded) {
+        fs.flag("--shard", "I/N", [&](const char *spec) {
             unsigned long long i = 0, n = 0;
             if (std::sscanf(spec, "%llu/%llu", &i, &n) != 2 || n == 0 ||
                 i >= n) {
@@ -304,21 +345,21 @@ cmdRunOrDump(Args &a, bool sharded)
             }
             shard = i;
             shards = n;
-        } else if (!std::strcmp(a.argv[a.i], "--jobs"))
-            workers = static_cast<unsigned>(
-                parseU64(a.need("--jobs"), "--jobs"));
-        else if (sharded && !std::strcmp(a.argv[a.i], "--timeout-sec"))
-            timeoutSec =
-                parseU64(a.need("--timeout-sec"), "--timeout-sec");
-        else if (!std::strcmp(a.argv[a.i], "--format"))
-            format = a.need("--format");
-        else if (!std::strcmp(a.argv[a.i], "--out"))
-            out_path = a.need("--out");
-        else
-            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
+        });
     }
+    fs.u64("--jobs", "W", &workers);
+    if (sharded)
+        fs.u64("--timeout-sec", "S", &timeoutSec);
+    fs.str("--format", "jsonl|csv", &format)
+        .str("--out", "FILE", &out_path)
+        .boolean("--memoize-warmup", &memoize)
+        .str("--from-snapshot", "FILE", &snapshot_path);
+    fs.parse(argc, argv, 2);
     if (manifest.empty())
         usage("--manifest is required");
+    if (memoize && !snapshot_path.empty())
+        usage("--memoize-warmup and --from-snapshot are mutually "
+              "exclusive");
     if (timeoutSec) {
         struct sigaction sa;
         std::memset(&sa, 0, sizeof sa);
@@ -333,20 +374,35 @@ cmdRunOrDump(Args &a, bool sharded)
         stsim_fatal("manifest '%s' holds no jobs", manifest.c_str());
     std::unique_ptr<ResultsSink> sink = openSink(out_path, format);
 
+    // Warmup options: forked-from-disk snapshot, memoized in-memory
+    // warmup, or neither (every job warms itself). The snapshot image
+    // lives here for the wave's duration; the engine only borrows it.
+    std::string snapshot;
+    RunOptions ropts;
+    ropts.workers = workers;
+    ropts.memoizeWarmup = memoize;
+    if (!snapshot_path.empty()) {
+        snapshot = readFile(snapshot_path);
+        ropts.fromSnapshot = &snapshot;
+    }
+
     if (!sharded) {
         // In-process reference path: the whole matrix through the
-        // vector API, then the same serializer. This is the byte-wise
-        // comparison target for a sharded merge.
+        // streaming engine into the same serializer. This is the
+        // byte-wise comparison target for a sharded merge.
         std::vector<SimJob> all;
         all.reserve(lines.size());
         for (const std::string &line : lines)
             all.push_back(serde::jobFromJson(line));
-        std::vector<SimResults> results = runJobs(all, workers);
-        for (std::size_t i = 0; i < results.size(); ++i)
-            sink->write(i, results[i]);
-        sink->flush();
+        StreamStats stats = runJobs(all, *sink, ropts);
         std::fprintf(stderr, "stsim_runner: dumped %zu results\n",
-                     results.size());
+                     all.size());
+        if (memoize) {
+            std::fprintf(stderr,
+                         "stsim_runner: %zu warmup(s) for %zu jobs "
+                         "(memoized)\n",
+                         stats.warmupsRun, all.size());
+        }
         return 0;
     }
 
@@ -367,37 +423,80 @@ cmdRunOrDump(Args &a, bool sharded)
         commit = hang.get();
     }
     IndexRemapSink remap(*commit, std::move(globalIndex));
-    StreamStats stats = runJobs(mine, remap, workers);
+    StreamStats stats = runJobs(mine, remap, ropts);
     std::fprintf(stderr,
                  "stsim_runner: shard %llu/%llu ran %zu of %zu jobs "
                  "(max %zu results held for reorder)\n",
                  static_cast<unsigned long long>(shard),
                  static_cast<unsigned long long>(shards), mine.size(),
                  lines.size(), stats.maxPending);
+    if (memoize) {
+        std::fprintf(stderr,
+                     "stsim_runner: %zu warmup(s) for %zu jobs "
+                     "(memoized)\n",
+                     stats.warmupsRun, mine.size());
+    }
+    return 0;
+}
+
+/**
+ * snapshot: run one manifest job's warmup and write the machine-state
+ * checkpoint. Any job of the same warmup class (same benchmark, seed,
+ * machine, predictor and throttle config -- only run length and power
+ * parameters free) can then fork from it via run/dump --from-snapshot.
+ */
+int
+cmdSnapshot(int argc, char **argv)
+{
+    std::string manifest, out_path;
+    std::uint64_t index = 0;
+    args::FlagSet fs(runnerDiag());
+    fs.str("--manifest", "FILE", &manifest)
+        .u64("--index", "I", &index)
+        .str("--out", "FILE", &out_path);
+    fs.parse(argc, argv, 2);
+    if (manifest.empty())
+        usage("--manifest is required");
+
+    std::vector<std::string> lines = readLines(manifest);
+    if (lines.empty())
+        stsim_fatal("manifest '%s' holds no jobs", manifest.c_str());
+    if (index >= lines.size())
+        stsim_fatal("snapshot: --index %llu out of range (manifest "
+                    "has %zu jobs)",
+                    static_cast<unsigned long long>(index),
+                    lines.size());
+
+    SimJob job = serde::jobFromJson(lines[index]);
+    Simulator sim(job.cfg);
+    sim.runWarmup();
+    std::string snap = sim.saveSnapshot();
+
+    OutFile out(out_path);
+    out.stream().write(snap.data(),
+                       static_cast<std::streamsize>(snap.size()));
+    out.finish("snapshot");
+    std::fprintf(stderr,
+                 "stsim_runner: wrote warmup snapshot for job %llu "
+                 "(%zu bytes)\n",
+                 static_cast<unsigned long long>(index), snap.size());
     return 0;
 }
 
 int
-cmdMerge(Args &a)
+cmdMerge(int argc, char **argv)
 {
     std::string out_path, manifest;
     std::uint64_t expect = 0;
     bool allowDups = false;
     std::vector<std::string> inputs;
-    for (; a.i < a.argc; ++a.i) {
-        if (!std::strcmp(a.argv[a.i], "--out"))
-            out_path = a.need("--out");
-        else if (!std::strcmp(a.argv[a.i], "--expect"))
-            expect = parseU64(a.need("--expect"), "--expect");
-        else if (!std::strcmp(a.argv[a.i], "--manifest"))
-            manifest = a.need("--manifest");
-        else if (!std::strcmp(a.argv[a.i], "--allow-dups"))
-            allowDups = true;
-        else if (a.argv[a.i][0] == '-')
-            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
-        else
-            inputs.push_back(a.argv[a.i]);
-    }
+    args::FlagSet fs(runnerDiag());
+    fs.str("--out", "FILE", &out_path)
+        .u64("--expect", "N", &expect)
+        .str("--manifest", "FILE", &manifest)
+        .boolean("--allow-dups", &allowDups);
+    fs.parse(argc, argv, 2,
+             [&](const char *arg) { inputs.push_back(arg); });
     if (inputs.empty())
         usage("merge needs at least one shard file");
     if (!expect && manifest.empty()) {
@@ -537,9 +636,10 @@ cmdMerge(Args &a)
  * crash takes down only this process -- that is the point.
  */
 int
-cmdServeWorker(Args &a)
+cmdServeWorker(int argc, char **argv)
 {
-    if (a.i < a.argc)
+    (void)argv;
+    if (argc > 2)
         usage("serve-worker takes no flags");
     const char *crashMarker = std::getenv(dist::kTestCrashOnJobEnv);
 
@@ -560,13 +660,13 @@ cmdServeWorker(Args &a)
         if (line.empty())
             continue;
         serde::ServeRequest req;
-        std::string err;
         std::string reply;
-        if (!serde::tryParseServeRequest(line, req, err)) {
+        serde::ParseOutcome parsed = serde::parseServeRequest(line, req);
+        if (!parsed) {
             serde::FlatWriter w;
             w.str("error", "bad_request");
             w.u64("id", 0);
-            w.str("detail", err);
+            w.str("detail", parsed.error);
             reply = w.finish();
         } else if (req.ping || req.health) {
             serde::FlatWriter w;
@@ -610,48 +710,32 @@ cmdServeWorker(Args &a)
 }
 
 int
-cmdDispatchOrResume(Args &a, bool isResume)
+cmdDispatchOrResume(int argc, char **argv, bool isResume)
 {
     dist::DispatchOptions opts;
     std::string runner;
-    for (; a.i < a.argc; ++a.i) {
-        if (!isResume && !std::strcmp(a.argv[a.i], "--manifest"))
-            opts.manifest = a.need("--manifest");
-        else if (!std::strcmp(a.argv[a.i], "--dir"))
-            opts.dir = a.need("--dir");
-        else if (!isResume && !std::strcmp(a.argv[a.i], "--shards"))
-            opts.shards = parseU64(a.need("--shards"), "--shards");
-        else if (!std::strcmp(a.argv[a.i], "--jobs"))
-            opts.workersPerShard = static_cast<unsigned>(
-                parseU64(a.need("--jobs"), "--jobs"));
-        else if (!std::strcmp(a.argv[a.i], "--max-attempts"))
-            opts.maxAttempts = static_cast<unsigned>(
-                parseU64(a.need("--max-attempts"), "--max-attempts"));
-        else if (!std::strcmp(a.argv[a.i], "--concurrent"))
-            opts.maxConcurrent = static_cast<unsigned>(
-                parseU64(a.need("--concurrent"), "--concurrent"));
-        else if (!std::strcmp(a.argv[a.i], "--timeout-sec"))
-            opts.shardTimeout = std::chrono::seconds(
-                parseU64(a.need("--timeout-sec"), "--timeout-sec"));
-        else if (!std::strcmp(a.argv[a.i], "--retry-backoff-ms"))
-            opts.retryBackoffBaseMs = parseU64(
-                a.need("--retry-backoff-ms"), "--retry-backoff-ms");
-        else if (!std::strcmp(a.argv[a.i], "--retry-backoff-cap-ms"))
-            opts.retryBackoffCapMs =
-                parseU64(a.need("--retry-backoff-cap-ms"),
-                         "--retry-backoff-cap-ms");
-        else if (!std::strcmp(a.argv[a.i], "--runner"))
-            runner = a.need("--runner");
-        else if (!isResume &&
-                 !std::strcmp(a.argv[a.i], "--test-kill-shard"))
-            opts.testKillShard = parseU64(a.need("--test-kill-shard"),
-                                          "--test-kill-shard");
-        else if (!isResume &&
-                 !std::strcmp(a.argv[a.i], "--test-die-after-kill"))
-            opts.testDieAfterKill = true;
-        else
-            usage(("unknown flag " + std::string(a.argv[a.i])).c_str());
+    args::FlagSet fs(runnerDiag());
+    if (!isResume) {
+        fs.str("--manifest", "FILE", &opts.manifest)
+            .u64("--shards", "N", &opts.shards);
     }
+    fs.str("--dir", "DIR", &opts.dir)
+        .u64("--jobs", "W", &opts.workersPerShard)
+        .u64("--max-attempts", "K", &opts.maxAttempts)
+        .u64("--concurrent", "C", &opts.maxConcurrent)
+        .flag("--timeout-sec", "S",
+              [&](const char *v) {
+                  opts.shardTimeout = std::chrono::seconds(
+                      parseU64(v, "--timeout-sec"));
+              })
+        .u64("--retry-backoff-ms", "B", &opts.retryBackoffBaseMs)
+        .u64("--retry-backoff-cap-ms", "C", &opts.retryBackoffCapMs)
+        .str("--runner", "PATH", &runner);
+    if (!isResume) {
+        fs.u64("--test-kill-shard", "N", &opts.testKillShard)
+            .boolean("--test-die-after-kill", &opts.testDieAfterKill);
+    }
+    fs.parse(argc, argv, 2);
     if (opts.dir.empty())
         usage("--dir is required");
     if (!isResume && opts.manifest.empty())
@@ -678,7 +762,6 @@ main(int argc, char **argv)
 
     if (argc < 2)
         usage();
-    Args a{argc, argv};
     const char *cmd = argv[1];
     if (!std::strcmp(cmd, "help") || !std::strcmp(cmd, "--help") ||
         !std::strcmp(cmd, "-h")) {
@@ -686,18 +769,20 @@ main(int argc, char **argv)
         return 0;
     }
     if (!std::strcmp(cmd, "manifest"))
-        return cmdManifest(a);
+        return cmdManifest(argc, argv);
     if (!std::strcmp(cmd, "run"))
-        return cmdRunOrDump(a, /*sharded=*/true);
+        return cmdRunOrDump(argc, argv, /*sharded=*/true);
     if (!std::strcmp(cmd, "dump"))
-        return cmdRunOrDump(a, /*sharded=*/false);
+        return cmdRunOrDump(argc, argv, /*sharded=*/false);
+    if (!std::strcmp(cmd, "snapshot"))
+        return cmdSnapshot(argc, argv);
     if (!std::strcmp(cmd, "merge"))
-        return cmdMerge(a);
+        return cmdMerge(argc, argv);
     if (!std::strcmp(cmd, "dispatch"))
-        return cmdDispatchOrResume(a, /*isResume=*/false);
+        return cmdDispatchOrResume(argc, argv, /*isResume=*/false);
     if (!std::strcmp(cmd, "resume"))
-        return cmdDispatchOrResume(a, /*isResume=*/true);
+        return cmdDispatchOrResume(argc, argv, /*isResume=*/true);
     if (!std::strcmp(cmd, "serve-worker"))
-        return cmdServeWorker(a);
+        return cmdServeWorker(argc, argv);
     usage(("unknown subcommand '" + std::string(cmd) + "'").c_str());
 }

@@ -67,7 +67,7 @@ DispatchJournal::DispatchJournal(const std::string &path) : path_(path)
                 std::size_t lineStart =
                     nl == std::string::npos ? 0 : nl + 1;
                 std::vector<serde::FlatField> rec;
-                if (serde::tryParseFlat(text.substr(lineStart), rec)) {
+                if (serde::parseFlat(text.substr(lineStart), rec)) {
                     stsim_warn("journal: completing newline-less "
                                "final record of '%s'",
                                path.c_str());
@@ -218,7 +218,7 @@ DispatchJournal::replay(const std::string &path)
             continue;
 
         std::vector<serde::FlatField> rec;
-        if (!serde::tryParseFlat(line, rec)) {
+        if (!serde::parseFlat(line, rec)) {
             // The only line a crash can cut short is the final,
             // newline-less append; anything else unparseable is real
             // corruption.

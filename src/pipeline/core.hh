@@ -80,6 +80,17 @@ class SlotRing
         return buf_[(head_ + i) & mask_];
     }
 
+    /** Absolute head position (checkpointing). */
+    std::uint64_t headPos() const { return head_; }
+
+    /** Empty the ring at absolute position @p head (checkpoint
+     *  restore; the caller re-pushes the saved contents). */
+    void
+    restartAt(std::uint64_t head)
+    {
+        head_ = tail_ = head;
+    }
+
   private:
     std::vector<std::uint32_t> buf_;
     std::uint64_t mask_ = 0;
@@ -130,6 +141,17 @@ class Core
         stats_ = CoreStats{};
         confMetrics_ = ConfMetrics{};
     }
+
+    /**
+     * Checkpoint the full microarchitectural state between ticks: the
+     * in-flight instruction pool (with the exact free-list order, so
+     * restored runs allocate the same slots), the pipe/window rings,
+     * the scheduler bitmap, the writeback calendar, and the fetch
+     * engine. Load restores into a freshly constructed Core with the
+     * same config and collaborators. Implemented in core_state.cc.
+     */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     /// @name Pipeline stages (called in this order by tick())

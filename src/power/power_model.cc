@@ -1,5 +1,9 @@
 #include "power_model.hh"
 
+#include <vector>
+
+#include "core/state_serde.hh"
+
 namespace stsim
 {
 
@@ -144,6 +148,46 @@ PowerModel::resetStats()
     dirty_ = 0;
     cycles_ = 0;
     totalWasted_ = 0.0;
+}
+
+void
+PowerModel::saveState(serde::StateWriter &w) const
+{
+    stsim_assert(dirty_ == 0, "power snapshot mid-cycle");
+    w.begin("power");
+    w.dblArray("unit_energy", unitEnergyAcc_.data(), kNumPUnits);
+    w.dblArray("unit_wasted", unitWasted_.data(), kNumPUnits);
+    w.dblArray("activity_sum", activitySum_.data(), kNumPUnits);
+    w.u64Array("touched_cycles", touchedCycles_.data(), kNumPUnits);
+    w.u64("cycles", cycles_);
+    w.dbl("total_wasted", totalWasted_);
+    w.end("power");
+}
+
+void
+PowerModel::loadState(serde::StateReader &r)
+{
+    r.begin("power");
+    std::vector<double> ue = r.dblVec("unit_energy");
+    std::vector<double> uw = r.dblVec("unit_wasted");
+    std::vector<double> as = r.dblVec("activity_sum");
+    std::vector<std::uint64_t> tc = r.u64Vec("touched_cycles");
+    if (ue.size() != kNumPUnits || tc.size() != kNumPUnits)
+        stsim_fatal("state: power unit count mismatch (snapshot %zu, "
+                    "model %zu)",
+                    ue.size(), kNumPUnits);
+    for (std::size_t i = 0; i < kNumPUnits; ++i) {
+        unitEnergyAcc_[i] = ue[i];
+        unitWasted_[i] = uw.at(i);
+        activitySum_[i] = as.at(i);
+        touchedCycles_[i] = tc[i];
+    }
+    cycles_ = r.u64("cycles");
+    totalWasted_ = r.dbl("total_wasted");
+    cycleCount_.fill(0.0);
+    cycleWrong_.fill(0.0);
+    dirty_ = 0;
+    r.end("power");
 }
 
 } // namespace stsim

@@ -20,6 +20,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /**
  * Cycle-driven power/energy accumulator.
  *
@@ -102,6 +108,15 @@ class PowerModel
 
     /** Zero all accumulated energy/cycle statistics (end of warmup). */
     void resetStats();
+
+    /**
+     * Checkpoint the energy accumulators (between ticks only: the
+     * per-cycle scratch is empty then -- endCycle self-clears -- so
+     * only the accumulators are state; the constants are rebuilt from
+     * params at construction).
+     */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     template <ClockGatingStyle Style> void endCycleImpl();

@@ -47,6 +47,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/arg_parse.hh"
 #include "common/logging.hh"
 #include "core/job_serde.hh"
 #include "serve/net.hh"
@@ -207,7 +208,7 @@ classify(const std::string &line)
         return r;
     }
     std::vector<serde::FlatField> fields;
-    if (!serde::tryParseFlat(line, fields))
+    if (!serde::parseFlat(line, fields))
         return r;
     for (const serde::FlatField &f : fields) {
         if (f.key == "pong") {
@@ -762,54 +763,43 @@ main(int argc, char **argv)
         opts.mode == "help") {
         return usage(stdout);
     }
-    for (int i = 2; i < argc; ++i) {
-        const char *a = argv[i];
-        auto val = [&]() -> const char * {
-            if (i + 1 >= argc)
-                stsim_fatal("loadgen: %s needs a value", a);
-            return argv[++i];
-        };
-        if (!std::strcmp(a, "--unix")) {
-            opts.unixPath = val();
-        } else if (!std::strcmp(a, "--tcp")) {
-            opts.tcpPort = static_cast<int>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--manifest")) {
-            opts.manifest = val();
-        } else if (!std::strcmp(a, "--out")) {
-            opts.outPath = val();
-        } else if (!std::strcmp(a, "--json")) {
-            opts.jsonPath = val();
-        } else if (!std::strcmp(a, "--clients")) {
-            opts.clients =
-                static_cast<unsigned>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--duration-sec")) {
-            opts.durationSec = std::atof(val());
-        } else if (!std::strcmp(a, "--deadline-ms")) {
-            opts.deadlineMs = parseU64(a, val());
-        } else if (!std::strcmp(a, "--window")) {
-            opts.window = static_cast<std::size_t>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--count")) {
-            opts.count = static_cast<std::size_t>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--delay-ms")) {
-            opts.delayMs = static_cast<unsigned>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--tries")) {
-            opts.tries = static_cast<int>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--retry")) {
-            opts.retryMax = static_cast<int>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--index")) {
-            opts.index = static_cast<std::size_t>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--id")) {
-            opts.id = parseU64(a, val());
-        } else if (!std::strcmp(a, "--label")) {
-            opts.label = val();
-        } else if (!std::strcmp(a, "--tolerate-disconnect")) {
-            opts.tolerateDisconnect = true;
-        } else {
-            std::fprintf(stderr, "loadgen: unknown argument '%s'\n",
-                         a);
-            return usage(stderr);
-        }
-    }
+    args::Diag diag;
+    diag.missingValue = [](const char *flag) {
+        stsim_fatal("loadgen: %s needs a value", flag);
+    };
+    diag.unknown = [](const char *arg) {
+        std::fprintf(stderr, "loadgen: unknown argument '%s'\n", arg);
+        std::exit(usage(stderr));
+    };
+    diag.parseU64 = [](const char *flag, const char *v) {
+        return parseU64(flag, v);
+    };
+
+    // The usage text is a per-mode synopsis, not an options table, so
+    // every flag registers with empty help (nothing is generated).
+    args::FlagSet fs(diag);
+    fs.str("--unix", "PATH", &opts.unixPath)
+        .flag("--tcp", "PORT",
+              [&opts](const char *v) {
+                  opts.tcpPort =
+                      static_cast<int>(parseU64("--tcp", v));
+              })
+        .str("--manifest", "FILE", &opts.manifest)
+        .str("--out", "FILE", &opts.outPath)
+        .str("--json", "FILE", &opts.jsonPath)
+        .u64("--clients", "N", &opts.clients)
+        .dblAtof("--duration-sec", "S", &opts.durationSec)
+        .u64("--deadline-ms", "D", &opts.deadlineMs)
+        .u64("--window", "N", &opts.window)
+        .u64("--count", "N", &opts.count)
+        .u64("--delay-ms", "D", &opts.delayMs)
+        .u64("--tries", "N", &opts.tries)
+        .u64("--retry", "N", &opts.retryMax)
+        .u64("--index", "I", &opts.index)
+        .u64("--id", "N", &opts.id)
+        .str("--label", "NAME", &opts.label)
+        .boolean("--tolerate-disconnect", &opts.tolerateDisconnect);
+    fs.parse(argc, argv, 2);
     if (opts.unixPath.empty() && opts.tcpPort < 0)
         return usage(stderr);
 

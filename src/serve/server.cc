@@ -476,10 +476,10 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
         return;
 
     serde::ServeRequest req;
-    std::string err;
-    if (!serde::tryParseServeRequest(sv, req, err)) {
+    serde::ParseOutcome parsed = serde::parseServeRequest(sv, req);
+    if (!parsed) {
         stats_.parseErrors++;
-        blockingReply(c, errorLine("parse", 0, err));
+        blockingReply(c, errorLine("parse", 0, parsed.error));
         return;
     }
     if (req.ping) {

@@ -14,6 +14,7 @@
 
 #include <signal.h>
 
+#include "common/arg_parse.hh"
 #include "common/logging.hh"
 #include "serve/server.hh"
 
@@ -21,52 +22,6 @@ using namespace stsim;
 
 namespace
 {
-
-int
-usage(FILE *to)
-{
-    std::fprintf(to,
-"usage: stsim_serve (--unix PATH | --tcp PORT) [options]\n"
-"\n"
-"Serve SimJob requests as JSONL frames; one JSON object per line each\n"
-"way. See README 'Serving' for the wire format and error replies.\n"
-"\n"
-"options:\n"
-"  --unix PATH             listen on a Unix stream socket\n"
-"  --tcp PORT              listen on 127.0.0.1:PORT (0 = ephemeral;\n"
-"                          the bound port is printed on stderr)\n"
-"  --jobs N                simulation worker threads (default: STSIM_JOBS\n"
-"                          or hardware concurrency)\n"
-"  --queue N               admission queue capacity: admitted but\n"
-"                          unfinished requests (default 2*jobs+4);\n"
-"                          overload => immediate {\"error\":\"busy\"}\n"
-"  --default-deadline-ms D deadline for requests that carry none (0 =\n"
-"                          unlimited, the default)\n"
-"  --max-deadline-ms D     clamp every request's deadline (0 = no clamp)\n"
-"  --drain-grace-ms D      on SIGTERM, cancel whatever is still running\n"
-"                          this long after the drain starts (default\n"
-"                          10000)\n"
-"  --max-line-bytes B      request frame size cap (default 1048576)\n"
-"  --reply-buffer N        buffered replies per connection before the\n"
-"                          reader blocks (default 64)\n"
-"  --max-conns N           connection cap (default 256)\n"
-"  --max-insts N           per-job instruction cap, warmup and measured\n"
-"                          each (default 1000000000; 0 = unlimited)\n"
-"  --isolate               run jobs in a supervised fleet of\n"
-"                          out-of-process `stsim_runner serve-worker`\n"
-"                          subprocesses: a crashing job becomes a\n"
-"                          structured reply, never a daemon exit\n"
-"  --runner PATH           stsim_runner binary for --isolate (default:\n"
-"                          stsim_runner beside this executable)\n"
-"  --job-attempts K        worker deaths before a job is answered\n"
-"                          {\"error\":\"internal\"} (default 3)\n"
-"  --poison-threshold K    consecutive worker kills before a job is\n"
-"                          quarantined as {\"error\":\"poison\"}\n"
-"                          (default 2)\n"
-"  --respawn-base-ms D     worker respawn backoff base (default 50)\n"
-"  --respawn-cap-ms D      worker respawn backoff cap (default 5000)\n");
-    return to == stdout ? 0 : 2;
-}
 
 std::uint64_t
 parseU64(const char *flag, const char *s)
@@ -78,6 +33,121 @@ parseU64(const char *flag, const char *s)
     return v;
 }
 
+int usage(FILE *to);
+
+/**
+ * The full flag surface, bound to @p opts. usage() registers against
+ * throwaway targets just to generate the options block, so the help
+ * text can never drift from the flags actually parsed.
+ */
+void
+registerFlags(args::FlagSet &fs, serve::ServeOptions &opts,
+              bool &haveAddr)
+{
+    for (const char *h : {"--help", "-h", "help"})
+        fs.boolean(h, [] { std::exit(usage(stdout)); });
+    fs.flag("--unix", "PATH",
+            [&opts, &haveAddr](const char *v) {
+                opts.unixPath = v;
+                haveAddr = true;
+            },
+            "listen on a Unix stream socket")
+        .flag("--tcp", "PORT",
+              [&opts, &haveAddr](const char *v) {
+                  opts.tcpPort =
+                      static_cast<int>(parseU64("--tcp", v));
+                  haveAddr = true;
+              },
+              "listen on 127.0.0.1:PORT (0 = ephemeral;\n"
+              "the bound port is printed on stderr)")
+        .u64("--jobs", "N", &opts.workers,
+             "simulation worker threads (default: STSIM_JOBS\n"
+             "or hardware concurrency)")
+        .u64("--queue", "N", &opts.queueCapacity,
+             "admission queue capacity: admitted but\n"
+             "unfinished requests (default 2*jobs+4);\n"
+             "overload => immediate {\"error\":\"busy\"}")
+        .u64("--default-deadline-ms", "D", &opts.defaultDeadlineMs,
+             "deadline for requests that carry none (0 =\n"
+             "unlimited, the default)")
+        .u64("--max-deadline-ms", "D", &opts.maxDeadlineMs,
+             "clamp every request's deadline (0 = no clamp)")
+        .u64("--drain-grace-ms", "D", &opts.drainGraceMs,
+             "on SIGTERM, cancel whatever is still running\n"
+             "this long after the drain starts (default\n"
+             "10000)")
+        // 0 would make every frame oversize; reject it up front.
+        .u64Positive("--max-line-bytes", "B", &opts.maxLineBytes,
+                     "request frame size cap (default 1048576)")
+        // 0 makes the reply-slot predicate unsatisfiable and
+        // deadlocks every connection; reject it up front.
+        .u64Positive("--reply-buffer", "N", &opts.replyQueueCap,
+                     "buffered replies per connection before the\n"
+                     "reader blocks (default 64)")
+        .u64("--max-conns", "N", &opts.maxConnections,
+             "connection cap (default 256)")
+        .u64("--max-insts", "N", &opts.maxJobInstructions,
+             "per-job instruction cap, warmup and measured\n"
+             "each (default 1000000000; 0 = unlimited)")
+        .boolean("--isolate", &opts.isolate,
+                 "run jobs in a supervised fleet of\n"
+                 "out-of-process `stsim_runner serve-worker`\n"
+                 "subprocesses: a crashing job becomes a\n"
+                 "structured reply, never a daemon exit")
+        .str("--runner", "PATH", &opts.runnerPath,
+             "stsim_runner binary for --isolate (default:\n"
+             "stsim_runner beside this executable)")
+        .u64Positive("--job-attempts", "K", &opts.jobAttempts,
+                     "worker deaths before a job is answered\n"
+                     "{\"error\":\"internal\"} (default 3)")
+        .u64Positive("--poison-threshold", "K", &opts.poisonThreshold,
+                     "consecutive worker kills before a job is\n"
+                     "quarantined as {\"error\":\"poison\"}\n"
+                     "(default 2)")
+        .u64("--respawn-base-ms", "D", &opts.respawnBaseMs,
+             "worker respawn backoff base (default 50)")
+        .u64("--respawn-cap-ms", "D", &opts.respawnCapMs,
+             "worker respawn backoff cap (default 5000)");
+}
+
+args::Diag
+serveDiag()
+{
+    args::Diag d;
+    d.missingValue = [](const char *flag) {
+        stsim_fatal("serve: %s needs a value", flag);
+    };
+    d.unknown = [](const char *arg) {
+        std::fprintf(stderr, "serve: unknown argument '%s'\n", arg);
+        std::exit(usage(stderr));
+    };
+    d.parseU64 = [](const char *flag, const char *v) {
+        return parseU64(flag, v);
+    };
+    d.notPositive = [](const char *flag) {
+        stsim_fatal("serve: %s must be positive", flag);
+    };
+    return d;
+}
+
+int
+usage(FILE *to)
+{
+    serve::ServeOptions dummy;
+    bool dummyAddr = false;
+    args::FlagSet fs(serveDiag());
+    registerFlags(fs, dummy, dummyAddr);
+    std::fprintf(to,
+"usage: stsim_serve (--unix PATH | --tcp PORT) [options]\n"
+"\n"
+"Serve SimJob requests as JSONL frames; one JSON object per line each\n"
+"way. See README 'Serving' for the wire format and error replies.\n"
+"\n"
+"options:\n"
+"%s", fs.optionsText().c_str());
+    return to == stdout ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -87,73 +157,9 @@ main(int argc, char **argv)
 
     serve::ServeOptions opts;
     bool haveAddr = false;
-    for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        auto val = [&]() -> const char * {
-            if (i + 1 >= argc)
-                stsim_fatal("serve: %s needs a value", a);
-            return argv[++i];
-        };
-        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h") ||
-            !std::strcmp(a, "help")) {
-            return usage(stdout);
-        } else if (!std::strcmp(a, "--unix")) {
-            opts.unixPath = val();
-            haveAddr = true;
-        } else if (!std::strcmp(a, "--tcp")) {
-            opts.tcpPort = static_cast<int>(parseU64(a, val()));
-            haveAddr = true;
-        } else if (!std::strcmp(a, "--jobs")) {
-            opts.workers = static_cast<unsigned>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--queue")) {
-            opts.queueCapacity =
-                static_cast<std::size_t>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--default-deadline-ms")) {
-            opts.defaultDeadlineMs = parseU64(a, val());
-        } else if (!std::strcmp(a, "--max-deadline-ms")) {
-            opts.maxDeadlineMs = parseU64(a, val());
-        } else if (!std::strcmp(a, "--drain-grace-ms")) {
-            opts.drainGraceMs = parseU64(a, val());
-        } else if (!std::strcmp(a, "--max-line-bytes")) {
-            // 0 would make every frame oversize; reject it up front.
-            opts.maxLineBytes =
-                static_cast<std::size_t>(parseU64(a, val()));
-            if (!opts.maxLineBytes)
-                stsim_fatal("serve: %s must be positive", a);
-        } else if (!std::strcmp(a, "--reply-buffer")) {
-            // 0 makes the reply-slot predicate unsatisfiable and
-            // deadlocks every connection; reject it up front.
-            opts.replyQueueCap =
-                static_cast<std::size_t>(parseU64(a, val()));
-            if (!opts.replyQueueCap)
-                stsim_fatal("serve: %s must be positive", a);
-        } else if (!std::strcmp(a, "--max-conns")) {
-            opts.maxConnections =
-                static_cast<std::size_t>(parseU64(a, val()));
-        } else if (!std::strcmp(a, "--max-insts")) {
-            opts.maxJobInstructions = parseU64(a, val());
-        } else if (!std::strcmp(a, "--isolate")) {
-            opts.isolate = true;
-        } else if (!std::strcmp(a, "--runner")) {
-            opts.runnerPath = val();
-        } else if (!std::strcmp(a, "--job-attempts")) {
-            opts.jobAttempts = static_cast<unsigned>(parseU64(a, val()));
-            if (!opts.jobAttempts)
-                stsim_fatal("serve: %s must be positive", a);
-        } else if (!std::strcmp(a, "--poison-threshold")) {
-            opts.poisonThreshold =
-                static_cast<unsigned>(parseU64(a, val()));
-            if (!opts.poisonThreshold)
-                stsim_fatal("serve: %s must be positive", a);
-        } else if (!std::strcmp(a, "--respawn-base-ms")) {
-            opts.respawnBaseMs = parseU64(a, val());
-        } else if (!std::strcmp(a, "--respawn-cap-ms")) {
-            opts.respawnCapMs = parseU64(a, val());
-        } else {
-            std::fprintf(stderr, "serve: unknown argument '%s'\n", a);
-            return usage(stderr);
-        }
-    }
+    args::FlagSet fs(serveDiag());
+    registerFlags(fs, opts, haveAddr);
+    fs.parse(argc, argv, 1);
     if (!haveAddr)
         return usage(stderr);
 

@@ -128,7 +128,7 @@ WorkerFleet::submit(std::uint64_t id, const SimJob &job,
 {
     // Wire frame: the job's manifest serialization with the id
     // spliced in front -- exactly the daemon's own request shape, so
-    // the worker parses it with the same tryParseServeRequest.
+    // the worker parses it with the same parseServeRequest.
     std::string jobJson = serde::toJson(job);
     Job j;
     j.id = id;
@@ -402,7 +402,7 @@ WorkerFleet::readSlot(std::size_t idx, clock_t_::time_point now)
             continue;
         if (s.state == Slot::kSpawning) {
             std::vector<serde::FlatField> fields;
-            if (!serde::tryParseFlat(line, fields) || fields.empty() ||
+            if (!serde::parseFlat(line, fields) || fields.empty() ||
                 fields[0].key != "worker_hello") {
                 stsim_warn("fleet: worker %zu sent garbage instead "
                            "of hello; killing it",

@@ -1,6 +1,7 @@
 #include "controller.hh"
 
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -245,6 +246,73 @@ SpeculationController::squashYoungerThan(InstSeq seq)
 #ifndef NDEBUG
     crossCheck();
 #endif
+}
+
+void
+SpeculationController::saveState(serde::StateWriter &w) const
+{
+    w.begin("controller");
+    // Only the live tracked branches are state; tombstones, buffer
+    // geometry and deque positions are reconstructed by replaying the
+    // inserts in fetch order (the same path rebuildBuffer compacts
+    // through), which restores every derived quantity exactly.
+    std::vector<std::uint64_t> seq, lvl;
+    for (std::uint64_t p = head_; p < tail_; ++p) {
+        const Tracked &t = at(p);
+        if (!t.live)
+            continue;
+        seq.push_back(t.seq);
+        lvl.push_back(static_cast<std::uint64_t>(t.lvl));
+    }
+    w.u64Vec("seq", seq);
+    w.u64Vec("lvl", lvl);
+    w.u64("fetch_gated_cycles", fetchGatedCycles_);
+    w.u64("decode_gated_cycles", decodeGatedCycles_);
+    w.end("controller");
+}
+
+void
+SpeculationController::loadState(serde::StateReader &r)
+{
+    r.begin("controller");
+    std::vector<std::uint64_t> seq = r.u64Vec("seq");
+    std::vector<std::uint64_t> lvl = r.u64Vec("lvl");
+    if (seq.size() != lvl.size())
+        stsim_fatal("state: controller seq/lvl length mismatch "
+                    "(%zu vs %zu)",
+                    seq.size(), lvl.size());
+
+    // Back to the constructed state, then replay the live set.
+    buf_.assign(256, Tracked{});
+    bufMask_ = buf_.size() - 1;
+    head_ = tail_ = 0;
+    posRing_.init(2048, kInvalidPos);
+    for (auto &c : levelCount_)
+        c = 0;
+    lowCount_ = liveCount_ = 0;
+    noSelectQ_.clear();
+    decodeQ_.clear();
+    fetchLevel_ = decodeLevel_ = BandwidthLevel::Full;
+    noSelectBarrier_ = decodeBarrier_ = kInvalidSeq;
+    refreshLevels();
+
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (lvl[i] >= kNumLevels)
+            stsim_fatal("state: controller entry %zu has bad "
+                        "confidence level %llu",
+                        i,
+                        static_cast<unsigned long long>(lvl[i]));
+        onCondBranchFetched(seq[i], static_cast<ConfLevel>(lvl[i]));
+    }
+    if (cfg_.mode == SpecControlMode::None && !seq.empty())
+        stsim_fatal("state: controller snapshot has %zu tracked "
+                    "branches but this config has no speculation "
+                    "control",
+                    seq.size());
+
+    fetchGatedCycles_ = r.u64("fetch_gated_cycles");
+    decodeGatedCycles_ = r.u64("decode_gated_cycles");
+    r.end("controller");
 }
 
 #ifndef NDEBUG

@@ -135,6 +135,17 @@ class SpeculationController
     }
     /// @}
 
+    /**
+     * Checkpoint the outstanding-branch set and gating counters. Load
+     * replays the live branches in fetch order through
+     * onCondBranchFetched, so every incremental structure (counts,
+     * barrier deques, position ring, cached levels) is rebuilt through
+     * the same code the live path uses -- and re-validated by the
+     * !NDEBUG cross-check.
+     */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
+
   private:
     /** Number of confidence levels (VHC, HC, LC, VLC). */
     static constexpr std::size_t kNumLevels = 4;

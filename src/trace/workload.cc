@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/state_serde.hh"
 
 namespace stsim
 {
@@ -181,6 +182,69 @@ Workload::nextTerminator(const StaticBlock &b)
     return ti;
 }
 
+namespace
+{
+
+/** Restore a sized per-block/per-slot vector, validating its length. */
+template <typename T>
+void
+loadSizedVec(serde::StateReader &r, const char *key, std::vector<T> &out)
+{
+    std::vector<std::uint64_t> v = r.u64Vec(key);
+    if (v.size() != out.size())
+        stsim_fatal("state: workload %s length mismatch (snapshot %zu, "
+                    "program %zu)",
+                    key, v.size(), out.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<T>(v[i]);
+}
+
+} // namespace
+
+void
+Workload::saveState(serde::StateWriter &w) const
+{
+    w.begin("workload");
+    w.u64("rng_s0", rng_.stateS0());
+    w.u64("rng_s1", rng_.stateS1());
+    w.u64("cur_block", curBlock_);
+    w.u64("op_idx", opIdx_);
+    w.u64("global_hist", globalHist_);
+    w.u64("generated", generated_);
+    w.u64Vec("loop_count", loopCount_);
+    w.u64Vec("chaos_wild", chaosWild_);
+    w.u64Vec("bias_streak", biasStreak_);
+    w.u64Vec("stream_pos", streamPos_);
+    w.u64Vec("call_stack", callStack_);
+    w.end("workload");
+}
+
+void
+Workload::loadState(serde::StateReader &r)
+{
+    r.begin("workload");
+    std::uint64_t s0 = r.u64("rng_s0");
+    std::uint64_t s1 = r.u64("rng_s1");
+    rng_.setState(s0, s1);
+    std::uint64_t cur_block = r.u64("cur_block");
+    if (cur_block >= program_->numBlocks())
+        stsim_fatal("state: workload cur_block %llu out of range "
+                    "(program has %zu blocks)",
+                    static_cast<unsigned long long>(cur_block),
+                    static_cast<std::size_t>(program_->numBlocks()));
+    curBlock_ = static_cast<std::uint32_t>(cur_block);
+    opIdx_ = static_cast<std::uint32_t>(r.u64("op_idx"));
+    globalHist_ = r.u64("global_hist");
+    generated_ = r.u64("generated");
+    loadSizedVec(r, "loop_count", loopCount_);
+    loadSizedVec(r, "chaos_wild", chaosWild_);
+    loadSizedVec(r, "bias_streak", biasStreak_);
+    loadSizedVec(r, "stream_pos", streamPos_);
+    std::vector<std::uint64_t> cs = r.u64Vec("call_stack");
+    callStack_.assign(cs.begin(), cs.end());
+    r.end("workload");
+}
+
 //
 // WrongPathCursor
 //
@@ -201,6 +265,40 @@ WrongPathCursor::WrongPathCursor(const Workload &workload, Addr start_pc,
         curBlock_ = b.fallthrough;
         opIdx_ = 0;
     }
+}
+
+WrongPathCursor::WrongPathCursor(const Workload &workload,
+                                 serde::StateReader &r)
+    : program_(&workload.program()),
+      rng_(0)
+{
+    r.begin("wrong_cursor");
+    std::uint64_t s0 = r.u64("rng_s0");
+    std::uint64_t s1 = r.u64("rng_s1");
+    rng_.setState(s0, s1);
+    std::uint64_t cur_block = r.u64("cur_block");
+    if (cur_block >= program_->numBlocks())
+        stsim_fatal("state: wrong-path cursor block %llu out of range",
+                    static_cast<unsigned long long>(cur_block));
+    curBlock_ = static_cast<std::uint32_t>(cur_block);
+    opIdx_ = static_cast<std::uint32_t>(r.u64("op_idx"));
+    specHist_ = r.u64("spec_hist");
+    std::vector<std::uint64_t> cs = r.u64Vec("call_stack");
+    callStack_.assign(cs.begin(), cs.end());
+    r.end("wrong_cursor");
+}
+
+void
+WrongPathCursor::saveState(serde::StateWriter &w) const
+{
+    w.begin("wrong_cursor");
+    w.u64("rng_s0", rng_.stateS0());
+    w.u64("rng_s1", rng_.stateS1());
+    w.u64("cur_block", curBlock_);
+    w.u64("op_idx", opIdx_);
+    w.u64("spec_hist", specHist_);
+    w.u64Vec("call_stack", callStack_);
+    w.end("wrong_cursor");
 }
 
 TraceInst

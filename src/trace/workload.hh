@@ -21,6 +21,12 @@
 namespace stsim
 {
 
+namespace serde
+{
+class StateWriter;
+class StateReader;
+} // namespace serde
+
 /**
  * Correct-path instruction generator. Owns all persistent behavioural
  * state: loop trip counters, the architectural global outcome history
@@ -54,6 +60,15 @@ class Workload
 
     /** Total correct-path instructions generated so far. */
     Counter generated() const { return generated_; }
+
+    /**
+     * Checkpoint the walker: RNG, block cursor, outcome history, and
+     * every per-block/per-slot behavioural counter. Load validates the
+     * vector sizes against the program, so a snapshot cannot silently
+     * restore onto a different benchmark.
+     */
+    void saveState(serde::StateWriter &w) const;
+    void loadState(serde::StateReader &r);
 
   private:
     friend class WrongPathCursor;
@@ -99,8 +114,14 @@ class WrongPathCursor
     WrongPathCursor(const Workload &workload, Addr start_pc,
                     std::uint64_t seed);
 
+    /** Restore a cursor previously written by saveState. */
+    WrongPathCursor(const Workload &workload, serde::StateReader &r);
+
     /** Generate the next wrong-path instruction. */
     TraceInst next();
+
+    /** Checkpoint the cursor (pairs with the restore constructor). */
+    void saveState(serde::StateWriter &w) const;
 
   private:
     const StaticProgram *program_;

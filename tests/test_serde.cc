@@ -243,9 +243,9 @@ TEST(ServeRequestSerde, ManifestRecordParsesWithDefaults)
     j.experiment = "baseline";
 
     serde::ServeRequest req;
-    std::string err;
-    ASSERT_TRUE(serde::tryParseServeRequest(serde::toJson(j), req, err))
-        << err;
+    serde::ParseOutcome p = serde::parseServeRequest(serde::toJson(j),
+                                                     req);
+    ASSERT_TRUE(p.ok) << p.error;
     EXPECT_FALSE(req.ping);
     EXPECT_EQ(req.id, 0u);
     EXPECT_EQ(req.deadlineMs, 0u);
@@ -265,16 +265,15 @@ TEST(ServeRequestSerde, IdDeadlineAndPingAreExtracted)
         "{\"id\":7,\"deadlineMs\":250," + rec.substr(1);
 
     serde::ServeRequest req;
-    std::string err;
-    ASSERT_TRUE(serde::tryParseServeRequest(framed, req, err)) << err;
+    serde::ParseOutcome p = serde::parseServeRequest(framed, req);
+    ASSERT_TRUE(p.ok) << p.error;
     EXPECT_FALSE(req.ping);
     EXPECT_EQ(req.id, 7u);
     EXPECT_EQ(req.deadlineMs, 250u);
 
     serde::ServeRequest ping;
-    ASSERT_TRUE(serde::tryParseServeRequest("{\"op\":\"ping\",\"id\":3}",
-                                            ping, err))
-        << err;
+    p = serde::parseServeRequest("{\"op\":\"ping\",\"id\":3}", ping);
+    ASSERT_TRUE(p.ok) << p.error;
     EXPECT_TRUE(ping.ping);
     EXPECT_EQ(ping.id, 3u);
 }
@@ -287,18 +286,18 @@ TEST(ServeRequestSerde, DeeplyNestedFrameIsRejectedNotACrash)
     // FatalCaptureScope cannot catch. It must come back as a plain
     // parse error instead.
     serde::ServeRequest req;
-    std::string err;
 
     std::string arrays(100'000, '[');
-    EXPECT_FALSE(serde::tryParseServeRequest(arrays, req, err));
-    EXPECT_NE(err.find("nested"), std::string::npos) << err;
+    serde::ParseOutcome p = serde::parseServeRequest(arrays, req);
+    EXPECT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("nested"), std::string::npos) << p.error;
 
     std::string objects;
     for (int i = 0; i < 50'000; ++i)
         objects += "{\"a\":";
-    err.clear();
-    EXPECT_FALSE(serde::tryParseServeRequest(objects, req, err));
-    EXPECT_NE(err.find("nested"), std::string::npos) << err;
+    p = serde::parseServeRequest(objects, req);
+    EXPECT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("nested"), std::string::npos) << p.error;
 
     // Sanity: realistic nesting (a full request is ~5 levels deep) is
     // nowhere near the cap.
@@ -306,26 +305,23 @@ TEST(ServeRequestSerde, DeeplyNestedFrameIsRejectedNotACrash)
     j.cfg.benchmark = "go";
     Experiment::byName("baseline").applyTo(j.cfg);
     j.experiment = "baseline";
-    err.clear();
-    EXPECT_TRUE(serde::tryParseServeRequest(serde::toJson(j), req, err))
-        << err;
+    p = serde::parseServeRequest(serde::toJson(j), req);
+    EXPECT_TRUE(p.ok) << p.error;
 }
 
 TEST(ServeRequestSerde, GarbageReturnsFalseInsteadOfExiting)
 {
     // The whole point of the non-fatal entry point: hostile frames
-    // must produce (false, message), never a process exit. Every
-    // rejection leaves a non-empty diagnostic.
+    // must produce a failed outcome with a message, never a process
+    // exit. Every rejection leaves a non-empty diagnostic.
     serde::ServeRequest req;
-    std::string err;
     for (const char *bad :
          {"", "not json at all", "[1,2,3]", "{\"experiment\":\"x\"}",
           "{\"op\":\"reboot\"}",
           "{\"experiment\":\"baseline\",\"cfg\":{}}",
           "{\"id\":\"seven\",\"experiment\":\"x\",\"cfg\":{}}"}) {
-        err.clear();
-        EXPECT_FALSE(serde::tryParseServeRequest(bad, req, err))
-            << "accepted: " << bad;
-        EXPECT_FALSE(err.empty()) << "no diagnostic for: " << bad;
+        serde::ParseOutcome p = serde::parseServeRequest(bad, req);
+        EXPECT_FALSE(p.ok) << "accepted: " << bad;
+        EXPECT_FALSE(p.error.empty()) << "no diagnostic for: " << bad;
     }
 }

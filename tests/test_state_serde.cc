@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Tests for the uniform checkpoint API (core/state_serde.hh) and the
+ * Simulator snapshot/fork workflow: writer/reader round trips, strict
+ * rejection of malformed snapshots, and the headline property -- a
+ * simulator forked from a snapshot finishes bitwise identical to one
+ * that never stopped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/job_serde.hh"
+#include "core/parallel_harness.hh"
+#include "core/results_sink.hh"
+#include "core/simulator.hh"
+#include "core/state_serde.hh"
+#include "throttle/policy.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+/** Small-but-real config: every subsystem exercised, fast to run. */
+SimConfig
+smallConfig(const char *experiment)
+{
+    SimConfig cfg;
+    cfg.benchmark = "go";
+    cfg.warmupInstructions = 5'000;
+    cfg.maxInstructions = 20'000;
+    if (std::string(experiment) == "C2") {
+        cfg.confKind = ConfKind::Bpru;
+        cfg.specControl.mode = SpecControlMode::Selective;
+        cfg.specControl.policy = ThrottlePolicy::byName("C2");
+    } else if (std::string(experiment) == "PG") {
+        cfg.confKind = ConfKind::Jrs;
+        cfg.specControl.mode = SpecControlMode::PipelineGating;
+        cfg.specControl.gatingThreshold = 2;
+    }
+    return cfg;
+}
+
+/** Bit-exact result identity via the hex-float JSON encoding. */
+std::string
+fingerprint(const SimResults &r)
+{
+    return serde::toJson(r);
+}
+
+} // namespace
+
+//
+// StateWriter / StateReader primitives
+//
+
+TEST(StateSerde, ScalarRoundTrip)
+{
+    serde::StateWriter w;
+    w.begin("s");
+    w.u64("a", ~0ull);
+    w.i64("b", -42);
+    w.boolean("c", true);
+    w.dbl("d", 0.1);
+    w.str("e", "hello world");
+    w.end("s");
+    std::string img = w.take();
+
+    serde::StateReader r(img);
+    r.begin("s");
+    EXPECT_EQ(r.u64("a"), ~0ull);
+    EXPECT_EQ(r.i64("b"), -42);
+    EXPECT_TRUE(r.boolean("c"));
+    EXPECT_EQ(r.dbl("d"), 0.1);
+    EXPECT_EQ(r.str("e"), "hello world");
+    r.end("s");
+    r.finish();
+}
+
+TEST(StateSerde, ArrayRoundTrip)
+{
+    const std::uint64_t u[3] = {1, 0, ~0ull};
+    const double d[2] = {1.5, -0.0};
+    std::vector<std::uint16_t> v{7, 9};
+
+    serde::StateWriter w;
+    w.begin("s");
+    w.u64Array("u", u, 3);
+    w.dblArray("d", d, 2);
+    w.u64Vec("v", v);
+    w.end("s");
+    std::string img = w.take();
+
+    serde::StateReader r(img);
+    r.begin("s");
+    std::vector<std::uint64_t> ru = r.u64Vec("u");
+    ASSERT_EQ(ru.size(), 3u);
+    EXPECT_EQ(ru[2], ~0ull);
+    std::vector<double> rd = r.dblVec("d");
+    ASSERT_EQ(rd.size(), 2u);
+    EXPECT_EQ(rd[0], 1.5);
+    EXPECT_TRUE(std::signbit(rd[1]));
+    std::vector<std::uint64_t> rv = r.u64Vec("v");
+    ASSERT_EQ(rv.size(), 2u);
+    EXPECT_EQ(rv[1], 9u);
+    r.end("s");
+    r.finish();
+}
+
+TEST(StateSerde, DoubleIsBitExact)
+{
+    // Values decimal printing would mangle must survive exactly.
+    const double vals[] = {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324};
+    serde::StateWriter w;
+    w.begin("s");
+    w.dblArray("v", vals, 4);
+    w.end("s");
+    std::string img = w.take();
+    serde::StateReader r(img);
+    r.begin("s");
+    std::vector<double> back = r.dblVec("v");
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(back[i], vals[i]) << "index " << i;
+    r.end("s");
+    r.finish();
+}
+
+TEST(StateSerde, WrongKeyIsFatal)
+{
+    serde::StateWriter w;
+    w.begin("s");
+    w.u64("a", 1);
+    w.end("s");
+    std::string img = w.take();
+
+    FatalCaptureScope capture;
+    serde::StateReader r(img);
+    r.begin("s");
+    EXPECT_THROW(r.u64("b"), FatalError);
+}
+
+TEST(StateSerde, WrongSectionIsFatal)
+{
+    serde::StateWriter w;
+    w.begin("s");
+    w.end("s");
+    std::string img = w.take();
+
+    FatalCaptureScope capture;
+    serde::StateReader r(img);
+    EXPECT_THROW(r.begin("t"), FatalError);
+}
+
+TEST(StateSerde, TruncationIsFatal)
+{
+    serde::StateWriter w;
+    w.begin("s");
+    w.u64("a", 1);
+    w.end("s");
+    std::string img = w.take();
+
+    FatalCaptureScope capture;
+    // Without the end marker the reader must refuse to finish.
+    ASSERT_TRUE(img.size() > 4 &&
+                img.compare(img.size() - 4, 4, "end\n") == 0);
+    std::string cut = img.substr(0, img.size() - 4);
+    serde::StateReader r(cut);
+    r.begin("s");
+    EXPECT_EQ(r.u64("a"), 1u);
+    r.end("s");
+    EXPECT_THROW(r.finish(), FatalError);
+}
+
+TEST(StateSerde, TrailingGarbageIsFatal)
+{
+    serde::StateWriter w;
+    w.begin("s");
+    w.end("s");
+    std::string img = w.take() + "junk\n";
+
+    FatalCaptureScope capture;
+    serde::StateReader r(img);
+    r.begin("s");
+    r.end("s");
+    EXPECT_THROW(r.finish(), FatalError);
+}
+
+TEST(StateSerde, VersionMismatchIsFatal)
+{
+    FatalCaptureScope capture;
+    EXPECT_THROW(serde::StateReader r("stsim-state 999\nend\n"),
+                 FatalError);
+    EXPECT_THROW(serde::StateReader r("not a snapshot"), FatalError);
+}
+
+TEST(StateSerde, ShortArrayIsFatal)
+{
+    FatalCaptureScope capture;
+    serde::StateReader r("stsim-state 1\n[s]\nv 3 1 2\n[/s]\nend\n");
+    r.begin("s");
+    EXPECT_THROW(r.u64Vec("v"), FatalError);
+}
+
+//
+// Simulator snapshot / fork
+//
+
+TEST(Snapshot, ForkFromWarmupIsBitExact)
+{
+    for (const char *exp : {"baseline", "C2", "PG"}) {
+        SCOPED_TRACE(exp);
+        SimConfig cfg = smallConfig(exp);
+
+        SimResults straight = Simulator(cfg).run();
+
+        Simulator warm(cfg);
+        warm.runWarmup();
+        std::string snap = warm.saveSnapshot();
+
+        Simulator forked(cfg);
+        forked.restoreSnapshot(snap);
+        SimResults resumed = forked.run();
+
+        EXPECT_EQ(fingerprint(straight), fingerprint(resumed));
+    }
+}
+
+TEST(Snapshot, MidMeasureSnapshotIsBitExact)
+{
+    SimConfig cfg = smallConfig("C2");
+
+    Simulator a(cfg);
+    a.runWarmup();
+    for (int i = 0; i < 1'000; ++i)
+        a.core().tick();
+    std::string snap = a.saveSnapshot();
+    SimResults ra = a.run();
+
+    Simulator b(cfg);
+    b.restoreSnapshot(snap);
+    SimResults rb = b.run();
+
+    EXPECT_EQ(fingerprint(ra), fingerprint(rb));
+}
+
+TEST(Snapshot, MidWarmupSnapshotIsBitExact)
+{
+    SimConfig cfg = smallConfig("PG");
+
+    Simulator a(cfg);
+    for (int i = 0; i < 500; ++i)
+        a.core().tick();
+    std::string snap = a.saveSnapshot();
+    SimResults ra = a.run();
+
+    Simulator b(cfg);
+    b.restoreSnapshot(snap);
+    SimResults rb = b.run();
+
+    EXPECT_EQ(fingerprint(ra), fingerprint(rb));
+}
+
+TEST(Snapshot, SaveLoadSaveIsIdentity)
+{
+    SimConfig cfg = smallConfig("C2");
+    Simulator a(cfg);
+    a.runWarmup();
+    std::string snap = a.saveSnapshot();
+
+    Simulator b(cfg);
+    b.restoreSnapshot(snap);
+    EXPECT_EQ(snap, b.saveSnapshot());
+}
+
+TEST(Snapshot, ForkMayChangeRunLengthAndPower)
+{
+    // The class key masks maxInstructions and power, so one warmup
+    // serves a sweep over them; the forked short run must equal a
+    // straight short run.
+    SimConfig warm_cfg = smallConfig("baseline");
+    warm_cfg.maxInstructions = 50'000;
+    Simulator warm(warm_cfg);
+    warm.runWarmup();
+    std::string snap = warm.saveSnapshot();
+
+    SimConfig short_cfg = smallConfig("baseline");
+    short_cfg.maxInstructions = 10'000;
+    short_cfg.power.idleFactor *= 0.5;
+
+    SimResults straight = Simulator(short_cfg).run();
+    Simulator forked(short_cfg);
+    forked.restoreSnapshot(snap);
+    SimResults resumed = forked.run();
+
+    EXPECT_EQ(fingerprint(straight), fingerprint(resumed));
+}
+
+TEST(Snapshot, WrongClassIsFatal)
+{
+    Simulator a(smallConfig("baseline"));
+    a.runWarmup();
+    std::string snap = a.saveSnapshot();
+
+    SimConfig other = smallConfig("baseline");
+    other.runSeed = 1234; // different run: different warmup class
+    Simulator b(other);
+
+    FatalCaptureScope capture;
+    EXPECT_THROW(b.restoreSnapshot(snap), FatalError);
+}
+
+TEST(Snapshot, TruncatedSimulatorSnapshotIsFatal)
+{
+    SimConfig cfg = smallConfig("baseline");
+    Simulator a(cfg);
+    a.runWarmup();
+    std::string snap = a.saveSnapshot();
+
+    Simulator b(cfg);
+    FatalCaptureScope capture;
+    EXPECT_THROW(
+        b.restoreSnapshot(snap.substr(0, snap.size() / 2)),
+        FatalError);
+}
+
+namespace
+{
+
+/** Collects a wave into a vector (test-local sink). */
+class CollectSink : public ResultsSink
+{
+  public:
+    explicit CollectSink(std::vector<SimResults> &out) : out_(out) {}
+
+    void
+    write(std::uint64_t index, const SimResults &r) override
+    {
+        out_[index] = r;
+    }
+
+  private:
+    std::vector<SimResults> &out_;
+};
+
+} // namespace
+
+TEST(Snapshot, MemoizedWaveIsBitwiseIdenticalToScratch)
+{
+    // A run-length sweep: per (benchmark, experiment) all three run
+    // lengths share one warmup class, so the memoized wave must run
+    // exactly 4 warmups for 12 jobs -- and still commit byte-identical
+    // results.
+    std::vector<SimJob> jobs;
+    for (const char *b : {"go", "crafty"}) {
+        for (const char *exp : {"baseline", "C2"}) {
+            for (std::uint64_t n : {8'000u, 12'000u, 16'000u}) {
+                SimJob j;
+                j.cfg = smallConfig(exp);
+                j.cfg.benchmark = b;
+                j.cfg.maxInstructions = n;
+                j.experiment = exp;
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+
+    std::vector<SimResults> scratch = runJobs(jobs, 3);
+
+    std::vector<SimResults> memo(jobs.size());
+    CollectSink sink(memo);
+    RunOptions opts;
+    opts.workers = 3;
+    opts.memoizeWarmup = true;
+    StreamStats stats = runJobs(jobs, sink, opts);
+
+    EXPECT_EQ(stats.warmupsRun, 4u);
+    ASSERT_EQ(scratch.size(), memo.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(fingerprint(scratch[i]), fingerprint(memo[i]))
+            << "job " << i;
+}
+
+TEST(Snapshot, CorruptedFieldIsFatal)
+{
+    SimConfig cfg = smallConfig("baseline");
+    Simulator a(cfg);
+    a.runWarmup();
+    std::string snap = a.saveSnapshot();
+
+    // Damage a key name somewhere past the header; the strict reader
+    // must name the mismatch instead of restoring garbage.
+    std::size_t pos = snap.find("\nnext_seq ");
+    ASSERT_NE(pos, std::string::npos);
+    snap[pos + 1] = 'x';
+
+    Simulator b(cfg);
+    FatalCaptureScope capture;
+    EXPECT_THROW(b.restoreSnapshot(snap), FatalError);
+}
