@@ -1,6 +1,8 @@
 #include "logging.hh"
 
+#include <chrono>
 #include <cstdarg>
+#include <cstring>
 #include <vector>
 
 namespace stsim
@@ -13,7 +15,45 @@ namespace
  * stsim_fatal into a throw; zero keeps the historical exit(1).
  */
 thread_local int fatalCaptureDepth = 0;
+
+/** Timestamp base for leveled log lines (process start, roughly). */
+const std::chrono::steady_clock::time_point logStart =
+    std::chrono::steady_clock::now();
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         logStart)
+        .count();
+}
+
+LogLevel
+parseLogLevel()
+{
+    const char *env = std::getenv("STSIM_LOG");
+    if (!env)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::Error;
+    std::fprintf(stderr, "warn: unknown STSIM_LOG level '%s' "
+                 "(want debug|info|warn|error); using info\n", env);
+    return LogLevel::Info;
+}
 } // namespace
+
+LogLevel
+logLevel()
+{
+    static const LogLevel level = parseLogLevel();
+    return level;
+}
 
 FatalCaptureScope::FatalCaptureScope()
 {
@@ -66,13 +106,26 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (!logEnabled(LogLevel::Warn))
+        return;
+    std::fprintf(stderr, "[%10.3f] warn: %s\n", monotonicSeconds(),
+                 msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (!logEnabled(LogLevel::Info))
+        return;
+    std::fprintf(stderr, "[%10.3f] info: %s\n", monotonicSeconds(),
+                 msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "[%10.3f] debug: %s\n", monotonicSeconds(),
+                 msg.c_str());
 }
 
 } // namespace detail

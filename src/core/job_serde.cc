@@ -1241,6 +1241,10 @@ parseServeRequest(std::string_view json, ServeRequest &out)
                 out.health = true;
                 return ParseOutcome{};
             }
+            if (op->asStr() == "metrics") {
+                out.metrics = true;
+                return ParseOutcome{};
+            }
             return ParseOutcome{false,
                                 "unknown op '" + op->asStr() + "'"};
         }

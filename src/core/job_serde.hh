@@ -67,17 +67,19 @@ std::uint64_t resultRecordIndex(std::string_view json);
  * One parsed stsim_serve request frame. The job shape is a strict
  * superset of a manifest record -- any manifest line is a valid
  * request -- plus an optional client-chosen "id" echoed in the reply
- * (default 0), an optional per-request "deadlineMs", and two jobless
- * operator forms: {"op":"ping"} (liveness) and {"op":"health"}
- * (stats + worker-fleet state).
+ * (default 0), an optional per-request "deadlineMs", and three
+ * jobless operator forms: {"op":"ping"} (liveness), {"op":"health"}
+ * (stats + worker-fleet state), and {"op":"metrics"} (the process
+ * metrics-registry snapshot).
  */
 struct ServeRequest
 {
     bool ping = false;
     bool health = false;
+    bool metrics = false;
     std::uint64_t id = 0;
     std::uint64_t deadlineMs = 0; ///< 0 = no per-request deadline
-    SimJob job;                   ///< valid only when !ping && !health
+    SimJob job; ///< valid only when !ping && !health && !metrics
 };
 
 /**

@@ -12,6 +12,8 @@
 #include "core/results_sink.hh"
 #include "core/run_pool.hh"
 #include "core/simulator.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace stsim
 {
@@ -122,6 +124,16 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
         }
     }
 
+    // Lifecycle accounting lives at job granularity: one counter inc
+    // or span per job, never per instruction, so the engine's hot
+    // path is untouched and results cannot be perturbed.
+    obs::Counter &memoHits =
+        obs::Registry::instance().counter("runjobs.warmup_memo_hits");
+    obs::Counter &memoMisses =
+        obs::Registry::instance().counter("runjobs.warmup_memo_misses");
+    obs::Counter &jobsCompleted =
+        obs::Registry::instance().counter("runjobs.jobs_completed");
+
     /** Run job @p i forked from its class's (possibly fresh) warmup. */
     auto runMemoized = [&](std::size_t i) {
         WarmupClass &wc = classes[jobClass[i]];
@@ -140,8 +152,13 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
                     throw JobCancelled();
             }
         }
+        if (builder)
+            memoMisses.inc();
+        else
+            memoHits.inc();
         if (builder) {
             try {
+                TRACE_SPAN("job.warmup");
                 Simulator warm(jobs[i].cfg);
                 warm.runWarmup(cancel);
                 std::string snap = warm.saveSnapshot();
@@ -169,7 +186,11 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
         // has restored.
         Simulator sim(jobs[i].cfg);
         sim.restoreSnapshot(wc.snapshot);
-        SimResults r = sim.run(cancel);
+        SimResults r;
+        {
+            TRACE_SPAN("job.measure");
+            r = sim.run(cancel);
+        }
         {
             std::lock_guard<std::mutex> lock(cacheMu);
             if (--wc.remaining == 0) {
@@ -196,6 +217,7 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool.submit([&, i] {
             {
+                TRACE_SPAN("job.queued");
                 std::unique_lock<std::mutex> lock(mu);
                 gate.wait(lock,
                           [&] { return aborted || i < next + window; });
@@ -215,9 +237,20 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
                 } else if (opts.fromSnapshot) {
                     Simulator sim(jobs[i].cfg);
                     sim.restoreSnapshot(*opts.fromSnapshot);
+                    TRACE_SPAN("job.measure");
                     r = sim.run(cancel);
                 } else {
-                    r = Simulator(jobs[i].cfg).run(cancel);
+                    // Warmup and measurement run as two explicit
+                    // phases on one machine; runWarmup() is a no-op-
+                    // if-done prefix of run(), so this is the same
+                    // simulation whether or not anyone is tracing.
+                    Simulator sim(jobs[i].cfg);
+                    {
+                        TRACE_SPAN("job.warmup");
+                        sim.runWarmup(cancel);
+                    }
+                    TRACE_SPAN("job.measure");
+                    r = sim.run(cancel);
                 }
             } catch (...) {
                 // This job's result will never reach `pending`, so the
@@ -232,11 +265,13 @@ runJobs(const std::vector<SimJob> &jobs, ResultsSink &sink,
             }
             r.experiment = jobs[i].experiment;
 
+            TRACE_SPAN("job.commit");
             std::lock_guard<std::mutex> lock(mu);
             if (aborted)
                 return;
             if (!opts.memoizeWarmup && !opts.fromSnapshot)
                 ++stats.warmupsRun; // scratch jobs warm up themselves
+            jobsCompleted.inc();
             pending.emplace(i, std::move(r));
             stats.maxPending =
                 std::max(stats.maxPending, pending.size());

@@ -26,6 +26,8 @@ RunPool::defaultWorkers()
 }
 
 RunPool::RunPool(unsigned workers)
+    : queueDepth_(obs::Registry::instance().gauge("runpool.queue_depth")),
+      idleWorkers_(obs::Registry::instance().gauge("runpool.idle_workers"))
 {
     if (workers == 0)
         workers = defaultWorkers();
@@ -54,6 +56,7 @@ RunPool::submit(std::function<void()> job)
         stsim_assert(!stopping_, "submit on a stopping RunPool");
         queue_.push_back(std::move(job));
         ++inFlight_;
+        queueDepth_.add(1);
     }
     cvWork_.notify_one();
 }
@@ -86,12 +89,15 @@ RunPool::workerLoop()
         std::function<void()> job;
         {
             std::unique_lock<std::mutex> lock(mu_);
+            idleWorkers_.add(1);
             cvWork_.wait(lock,
                          [this] { return stopping_ || !queue_.empty(); });
+            idleWorkers_.sub(1);
             if (queue_.empty())
                 return; // stopping and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            queueDepth_.sub(1);
         }
         try {
             job();

@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace stsim
 {
 
@@ -73,6 +75,12 @@ class RunPool
 
   private:
     void workerLoop();
+
+    // Process-wide gauges (shared across pools): how many jobs sit
+    // queued and how many workers are parked waiting for work. Two
+    // relaxed atomic ops per job -- nowhere near any hot path.
+    obs::Gauge &queueDepth_;
+    obs::Gauge &idleWorkers_;
 
     std::vector<std::thread> threads_;
     std::deque<std::function<void()>> queue_;

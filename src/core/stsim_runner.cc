@@ -69,6 +69,8 @@
 #include "core/suites.hh"
 #include "dist/host_launcher.hh"
 #include "dist/shard_scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace stsim;
 
@@ -86,10 +88,13 @@ printUsage(std::FILE *to)
         "[--jobs W] [--timeout-sec S]\n"
         "               [--format jsonl|csv] [--out FILE] "
         "[--memoize-warmup]\n"
-        "               [--from-snapshot FILE]\n"
+        "               [--from-snapshot FILE] [--trace FILE] "
+        "[--metrics FILE]\n"
         "  stsim_runner dump --manifest FILE [--jobs W] "
         "[--format jsonl|csv] [--out FILE]\n"
-        "               [--memoize-warmup] [--from-snapshot FILE]\n"
+        "               [--memoize-warmup] [--from-snapshot FILE] "
+        "[--trace FILE]\n"
+        "               [--metrics FILE]\n"
         "  stsim_runner snapshot --manifest FILE [--index I] "
         "[--out FILE]\n"
         "  stsim_runner merge --out FILE (--manifest FILE | "
@@ -98,10 +103,13 @@ printUsage(std::FILE *to)
         "[--shards N] [--jobs W] [--max-attempts K]\n"
         "               [--concurrent C] [--timeout-sec S] "
         "[--retry-backoff-ms B]\n"
-        "               [--retry-backoff-cap-ms C] [--runner PATH]\n"
+        "               [--retry-backoff-cap-ms C] [--runner PATH] "
+        "[--trace FILE]\n"
+        "               [--metrics FILE]\n"
         "  stsim_runner resume --dir DIR [--jobs W] "
         "[--max-attempts K] [--concurrent C]\n"
-        "               [--timeout-sec S] [--runner PATH]\n"
+        "               [--timeout-sec S] [--runner PATH] "
+        "[--trace FILE] [--metrics FILE]\n"
         "  stsim_runner serve-worker\n"
         "  stsim_runner help\n"
         "\n"
@@ -126,7 +134,15 @@ printUsage(std::FILE *to)
         "warms each distinct\n"
         "class once per wave, in memory. Both commit results "
         "byte-identical to\n"
-        "from-scratch runs.\n");
+        "from-scratch runs.\n"
+        "\n"
+        "--trace FILE writes a Chrome trace_event JSON span trace of "
+        "the command\n"
+        "(open it in Perfetto or chrome://tracing); --metrics FILE "
+        "writes the final\n"
+        "metrics-registry snapshot as one JSONL record. Neither "
+        "perturbs results:\n"
+        "output files are byte-identical with and without them.\n");
 }
 
 [[noreturn]] void
@@ -244,6 +260,67 @@ class HangAfterFirstRecordSink : public ResultsSink
     bool hung_ = false;
 };
 
+/**
+ * The run/dump/dispatch observability surfaces: --trace FILE installs
+ * a process-wide span sink for the command's duration and writes the
+ * Chrome trace JSON on the way out; --metrics FILE writes the final
+ * metrics-registry snapshot (one JSONL record). Both are written by
+ * the destructor so every successful return path is covered; fatal
+ * exits (which bypass destructors) intentionally leave no files.
+ */
+class ObsSession
+{
+  public:
+    void
+    registerFlags(args::FlagSet &fs)
+    {
+        fs.str("--trace", "FILE", &tracePath_)
+            .str("--metrics", "FILE", &metricsPath_);
+    }
+
+    /** Call once after parse(), before the work starts. */
+    void
+    begin()
+    {
+        if (!tracePath_.empty()) {
+            sink_ = std::make_unique<obs::TraceSink>();
+            obs::TraceSink::install(sink_.get());
+        }
+    }
+
+    ~ObsSession()
+    {
+        if (sink_) {
+            obs::TraceSink::install(nullptr);
+            if (!sink_->writeFile(tracePath_)) {
+                stsim_warn("cannot write trace file %s: %s",
+                           tracePath_.c_str(), std::strerror(errno));
+            }
+        }
+        if (metricsPath_.empty())
+            return;
+        std::string snap = obs::Registry::instance().snapshotJson();
+        std::FILE *f = std::fopen(metricsPath_.c_str(), "w");
+        bool ok = f != nullptr;
+        if (ok) {
+            ok = std::fwrite(snap.data(), 1, snap.size(), f) ==
+                     snap.size() &&
+                 std::fputc('\n', f) != EOF;
+        }
+        if (f && std::fclose(f) != 0)
+            ok = false;
+        if (!ok) {
+            stsim_warn("cannot write metrics file %s: %s",
+                       metricsPath_.c_str(), std::strerror(errno));
+        }
+    }
+
+  private:
+    std::string tracePath_;
+    std::string metricsPath_;
+    std::unique_ptr<obs::TraceSink> sink_;
+};
+
 /** Whole-file read for snapshot images (newlines are significant). */
 std::string
 readFile(const std::string &path)
@@ -354,9 +431,12 @@ cmdRunOrDump(int argc, char **argv, bool sharded)
         .str("--out", "FILE", &out_path)
         .boolean("--memoize-warmup", &memoize)
         .str("--from-snapshot", "FILE", &snapshot_path);
+    ObsSession obsSession;
+    obsSession.registerFlags(fs);
     fs.parse(argc, argv, 2);
     if (manifest.empty())
         usage("--manifest is required");
+    obsSession.begin();
     if (memoize && !snapshot_path.empty())
         usage("--memoize-warmup and --from-snapshot are mutually "
               "exclusive");
@@ -735,6 +815,8 @@ cmdDispatchOrResume(int argc, char **argv, bool isResume)
         fs.u64("--test-kill-shard", "N", &opts.testKillShard)
             .boolean("--test-die-after-kill", &opts.testDieAfterKill);
     }
+    ObsSession obsSession;
+    obsSession.registerFlags(fs);
     fs.parse(argc, argv, 2);
     if (opts.dir.empty())
         usage("--dir is required");
@@ -742,6 +824,7 @@ cmdDispatchOrResume(int argc, char **argv, bool isResume)
         usage("--manifest is required");
     if (opts.maxAttempts == 0)
         usage("--max-attempts must be positive");
+    obsSession.begin();
 
     if (runner.empty())
         runner = dist::LocalProcessLauncher::selfExecutable();

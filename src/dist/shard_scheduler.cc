@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace stsim
 {
@@ -250,15 +251,13 @@ ShardScheduler::resume()
             ++presumedDead; // was running when the dispatcher died
         pending_.push_back(i);
     }
-    std::fprintf(stderr,
-                 "stsim_runner: resume: %zu/%" PRIu64 " shards done, "
-                 "%zu to run (%zu presumed dead)\n",
+    stsim_inform("stsim_runner: resume: %zu/%" PRIu64 " shards done, "
+                 "%zu to run (%zu presumed dead)",
                  st.doneCount(), opts_.shards, pending_.size(),
                  presumedDead);
     journal_ = std::make_unique<DispatchJournal>(jpath);
     if (pending_.empty()) {
-        std::fprintf(stderr,
-                     "stsim_runner: resume: nothing to do\n");
+        stsim_inform("stsim_runner: resume: nothing to do");
         return 0;
     }
     return runLoop();
@@ -285,6 +284,15 @@ ShardScheduler::launchShard(std::uint64_t shard)
     s.running = true;
     s.killRequested = false;
     s.startedAt = std::chrono::steady_clock::now();
+    // An attempt's span opens at launch and closes in handleExit --
+    // two separate calls on the scheduler thread, so the pair is
+    // recorded explicitly instead of via TRACE_SPAN.
+    if (obs::TraceSink *sink = obs::TraceSink::current()) {
+        s.traced = true;
+        s.traceTs = sink->nowUs();
+    } else {
+        s.traced = false;
+    }
 }
 
 bool
@@ -349,9 +357,8 @@ ShardScheduler::failShard(std::uint64_t shard,
         // Fault injection: the dispatcher "crashes" the instant it has
         // journaled the worker's death -- no retries, no cleanup, no
         // flushing. Recovery must come entirely from `resume`.
-        std::fprintf(stderr,
-                     "stsim_runner: dispatch: test-die-after-kill: "
-                     "simulating dispatcher crash\n");
+        stsim_warn("stsim_runner: dispatch: test-die-after-kill: "
+                   "simulating dispatcher crash");
         std::_Exit(3);
     }
 
@@ -381,6 +388,14 @@ ShardScheduler::handleExit(const ShardExit &ex)
     stsim_assert(s.running, "dispatch: exit for idle shard %" PRIu64,
                  ex.shard);
     s.running = false;
+    if (s.traced) {
+        s.traced = false;
+        if (obs::TraceSink *sink = obs::TraceSink::current()) {
+            std::uint64_t now = sink->nowUs();
+            sink->record("shard.attempt", s.traceTs,
+                         now > s.traceTs ? now - s.traceTs : 0);
+        }
+    }
     if (!ex.success) {
         failShard(ex.shard, ex.reason.empty() ? "unknown" : ex.reason);
         return;
@@ -481,11 +496,10 @@ ShardScheduler::runLoop()
     stsim_assert(done == shards_.size(),
                  "dispatch: loop ended with %zu/%zu shards done",
                  done, shards_.size());
-    std::fprintf(stderr,
-                 "stsim_runner: dispatch complete: %zu shard file(s) "
+    stsim_inform("stsim_runner: dispatch complete: %zu shard file(s) "
                  "in %s; merge with:\n"
                  "  stsim_runner merge --manifest %s --out merged.jsonl"
-                 " %s/shard-*.jsonl\n",
+                 " %s/shard-*.jsonl",
                  done, opts_.dir.c_str(), opts_.manifest.c_str(),
                  opts_.dir.c_str());
     return 0;

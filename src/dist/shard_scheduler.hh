@@ -123,6 +123,9 @@ class ShardScheduler
         std::chrono::steady_clock::time_point startedAt{};
         /// earliest next launch (retry backoff gate)
         std::chrono::steady_clock::time_point eligibleAt{};
+        /// span start for "shard.attempt" (valid when traced)
+        std::uint64_t traceTs = 0;
+        bool traced = false;
     };
 
     int runLoop();

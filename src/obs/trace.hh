@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Span tracer emitting Chrome trace_event JSON (loadable in Perfetto
+ * and chrome://tracing). Spans are recorded into fixed-capacity
+ * per-thread ring buffers owned by the installed TraceSink; a full
+ * ring drops new events and counts the drops instead of blocking or
+ * reallocating. The TRACE_SPAN(...) RAII macro costs one relaxed
+ * atomic load when no sink is installed -- the disabled path does no
+ * clock reads, no allocation, nothing.
+ *
+ * Events are "complete" events (ph:"X") with microsecond ts/dur
+ * relative to sink construction; properly nested spans on a thread
+ * render as a flame graph without any begin/end pairing.
+ *
+ * Lifetime contract: install(sink) publishes, install(nullptr)
+ * retracts. The sink must outlive every span recorded against it;
+ * the intended shape (and what every binary here does) is
+ * install-in-main, run, install(nullptr) after all workers joined,
+ * write the file, destroy.
+ */
+
+#ifndef STSIM_OBS_TRACE_HH
+#define STSIM_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stsim
+{
+namespace obs
+{
+
+/** One recorded complete-span event. */
+struct TraceEvent
+{
+    const char *name;  ///< static string (the TRACE_SPAN literal)
+    std::uint64_t ts;  ///< microseconds since trace start
+    std::uint64_t dur; ///< microseconds
+    std::uint32_t tid; ///< small per-thread id assigned at first record
+};
+
+class TraceSink
+{
+  public:
+    /** @param ringCapacity events retained per thread before dropping. */
+    explicit TraceSink(std::size_t ringCapacity = 1 << 14);
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Publish / retract the process-wide sink. */
+    static void install(TraceSink *sink);
+
+    static TraceSink *current()
+    {
+        return g_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds since this sink was constructed (steady clock). */
+    std::uint64_t nowUs() const;
+
+    /**
+     * Record one complete event on the calling thread's ring. Drops
+     * (with accounting) when the ring is full. `name` must be a
+     * static string.
+     */
+    void record(const char *name, std::uint64_t ts, std::uint64_t dur);
+
+    /** Events dropped across all rings because a ring was full. */
+    std::uint64_t dropped() const;
+
+    /** Events currently retained across all rings. */
+    std::uint64_t recorded() const;
+
+    /**
+     * Serialize everything recorded so far as one Chrome trace JSON
+     * document: {"traceEvents":[...complete events...],
+     * "otherData":{"dropped":N}}. Safe to call while other threads
+     * record (each ring is copied under its own lock).
+     */
+    std::string flushJson() const;
+
+    /** flushJson() to a file; false (with errno intact) on failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Ring
+    {
+        std::mutex mu;
+        std::vector<TraceEvent> events; ///< append-only up to capacity
+        std::uint64_t dropped = 0;
+        std::uint32_t tid = 0;
+    };
+
+    Ring *ringForThisThread();
+
+    static std::atomic<TraceSink *> g_;
+
+    const std::size_t ringCapacity_;
+    std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mu_; ///< guards rings_ registration + iteration
+    std::vector<std::shared_ptr<Ring>> rings_;
+    std::uint32_t nextTid_ = 1;
+    std::uint64_t gen_;
+};
+
+/**
+ * RAII span: measures construction-to-destruction against the sink
+ * installed at construction time. When no sink is installed the
+ * constructor is a single relaxed load and the destructor a null
+ * check.
+ */
+class SpanGuard
+{
+  public:
+    explicit SpanGuard(const char *name) : sink_(TraceSink::current())
+    {
+        if (sink_) {
+            name_ = name;
+            start_ = sink_->nowUs();
+        }
+    }
+
+    ~SpanGuard()
+    {
+        if (sink_)
+            sink_->record(name_, start_, sink_->nowUs() - start_);
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+  private:
+    TraceSink *sink_;
+    const char *name_ = nullptr;
+    std::uint64_t start_ = 0;
+};
+
+#define STSIM_OBS_CONCAT2(a, b) a##b
+#define STSIM_OBS_CONCAT(a, b) STSIM_OBS_CONCAT2(a, b)
+
+/**
+ * Trace the enclosing scope as a named span. `name` must be a string
+ * literal (it is retained by pointer, not copied).
+ */
+#define TRACE_SPAN(name) \
+    ::stsim::obs::SpanGuard STSIM_OBS_CONCAT(stsimTraceSpan_, \
+                                             __LINE__)(name)
+
+} // namespace obs
+} // namespace stsim
+
+#endif // STSIM_OBS_TRACE_HH

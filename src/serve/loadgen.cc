@@ -31,6 +31,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -50,6 +51,7 @@
 #include "common/arg_parse.hh"
 #include "common/logging.hh"
 #include "core/job_serde.hh"
+#include "obs/metrics.hh"
 #include "serve/net.hh"
 
 using namespace stsim;
@@ -224,6 +226,87 @@ classify(const std::string &line)
         }
     }
     return r;
+}
+
+/**
+ * Fetch the server's {"op":"metrics"} snapshot on its own connection
+ * and return the parsed flat fields; empty on any failure (bench
+ * treats server-side metrics as best-effort garnish, never a reason
+ * to fail a load test).
+ */
+std::vector<serde::FlatField>
+fetchMetrics(const Options &opts)
+{
+    std::vector<serde::FlatField> fields;
+    std::string err;
+    int fd = connectTarget(opts, &err);
+    if (fd < 0)
+        return fields;
+    setRecvTimeout(fd, 120);
+    LineReader lr(fd, 1 << 22);
+    std::string line;
+    if (sendAll(fd, "{\"op\":\"metrics\",\"id\":0}\n", nullptr) &&
+        lr.next(line) == LineStatus::Line) {
+        if (!serde::parseFlat(line, fields))
+            fields.clear();
+    }
+    ::close(fd);
+    return fields;
+}
+
+const std::string *
+flatValue(const std::vector<serde::FlatField> &fields,
+          const std::string &key)
+{
+    for (const serde::FlatField &f : fields)
+        if (f.key == key)
+            return &f.value;
+    return nullptr;
+}
+
+/** Quantiles of one server histogram over the bench window. */
+struct ServerHist
+{
+    bool ok = false;
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0, p90 = 0, p99 = 0;
+};
+
+/**
+ * The window-scoped view of a server histogram: subtract the
+ * before-run bucket counts from the after-run ones, then quantile
+ * over just the delta. A missing before-snapshot field means the
+ * histogram did not exist yet (zero counts); a missing after-field
+ * means no metrics support, and the row is reported absent.
+ */
+ServerHist
+histWindow(const std::vector<serde::FlatField> &before,
+           const std::vector<serde::FlatField> &after,
+           const std::string &name)
+{
+    ServerHist h;
+    const std::string *a = flatValue(after, "h." + name + ".buckets");
+    if (!a)
+        return h;
+    std::array<std::uint64_t, obs::Histogram::kBuckets> ab{}, bb{};
+    if (!obs::Histogram::parseSparse(*a, ab))
+        return h;
+    if (const std::string *b =
+            flatValue(before, "h." + name + ".buckets")) {
+        if (!obs::Histogram::parseSparse(*b, bb))
+            return h;
+    }
+    for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+        if (ab[i] < bb[i])
+            return h; // counts went backwards: not the same server
+        ab[i] -= bb[i];
+        h.count += ab[i];
+    }
+    h.ok = true;
+    h.p50 = obs::Histogram::quantileFromCounts(ab, 0.50);
+    h.p90 = obs::Histogram::quantileFromCounts(ab, 0.90);
+    h.p99 = obs::Histogram::quantileFromCounts(ab, 0.99);
+    return h;
 }
 
 int
@@ -587,6 +670,9 @@ benchMode(const Options &opts)
     std::vector<ClientTally> tallies(opts.clients);
     std::vector<std::thread> threads;
     using clock = std::chrono::steady_clock;
+    // Server-side view of the same window: snapshot the metrics
+    // registry before and after, then diff the histogram buckets.
+    std::vector<serde::FlatField> metricsBefore = fetchMetrics(opts);
     auto start = clock::now();
     auto stopAt =
         start + std::chrono::duration<double>(opts.durationSec);
@@ -675,6 +761,11 @@ benchMode(const Options &opts)
         th.join();
     double elapsed =
         std::chrono::duration<double>(clock::now() - start).count();
+    std::vector<serde::FlatField> metricsAfter = fetchMetrics(opts);
+    ServerHist srvQueueWait =
+        histWindow(metricsBefore, metricsAfter, "serve.queue_wait_us");
+    ServerHist srvSimTime =
+        histWindow(metricsBefore, metricsAfter, "serve.sim_time_us");
 
     std::uint64_t ok = 0, busy = 0, errors = 0, retries = 0;
     std::uint64_t deadline = 0, internal = 0, poison = 0,
@@ -714,6 +805,25 @@ benchMode(const Options &opts)
                  static_cast<unsigned long long>(errors),
                  static_cast<unsigned long long>(retries), p50, p90,
                  p99, worst);
+    if (srvQueueWait.ok || srvSimTime.ok) {
+        std::fprintf(
+            stderr,
+            "loadgen: bench: server window: queue-wait us "
+            "p50=%llu p90=%llu p99=%llu (n=%llu); sim us "
+            "p50=%llu p90=%llu p99=%llu (n=%llu)\n",
+            static_cast<unsigned long long>(srvQueueWait.p50),
+            static_cast<unsigned long long>(srvQueueWait.p90),
+            static_cast<unsigned long long>(srvQueueWait.p99),
+            static_cast<unsigned long long>(srvQueueWait.count),
+            static_cast<unsigned long long>(srvSimTime.p50),
+            static_cast<unsigned long long>(srvSimTime.p90),
+            static_cast<unsigned long long>(srvSimTime.p99),
+            static_cast<unsigned long long>(srvSimTime.count));
+    } else {
+        std::fprintf(stderr,
+                     "loadgen: bench: no server-side metrics window "
+                     "(metrics op unanswered)\n");
+    }
 
     if (!opts.jsonPath.empty()) {
         FILE *f = std::fopen(opts.jsonPath.c_str(), "w");
@@ -729,7 +839,7 @@ benchMode(const Options &opts)
             "\"poison\":%llu,\"bad_request\":%llu,\"other\":%llu},"
             "\"jobs_per_sec\":%.2f,"
             "\"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,"
-            "\"p99\":%.3f,\"max\":%.3f}}\n",
+            "\"p99\":%.3f,\"max\":%.3f}",
             opts.label.c_str(), opts.clients, elapsed,
             static_cast<unsigned long long>(ok),
             static_cast<unsigned long long>(busy),
@@ -741,6 +851,23 @@ benchMode(const Options &opts)
             static_cast<unsigned long long>(badRequest),
             static_cast<unsigned long long>(other), jobsPerSec, p50,
             p90, p99, worst);
+        // Server-side histograms over the same window, when the
+        // daemon answered the metrics op (absent otherwise).
+        auto emitHist = [f](const char *key, const ServerHist &h) {
+            std::fprintf(
+                f,
+                ",\"%s\":{\"count\":%llu,\"p50_us\":%llu,"
+                "\"p90_us\":%llu,\"p99_us\":%llu}",
+                key, static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.p50),
+                static_cast<unsigned long long>(h.p90),
+                static_cast<unsigned long long>(h.p99));
+        };
+        if (srvQueueWait.ok)
+            emitHist("server_queue_wait_us", srvQueueWait);
+        if (srvSimTime.ok)
+            emitHist("server_sim_time_us", srvSimTime);
+        std::fprintf(f, "}\n");
         if (std::fclose(f) != 0)
             stsim_fatal("loadgen: write to '%s' failed",
                         opts.jsonPath.c_str());

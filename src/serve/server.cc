@@ -14,6 +14,7 @@
 #include "core/cancel.hh"
 #include "core/job_serde.hh"
 #include "core/simulator.hh"
+#include "obs/trace.hh"
 #include "serve/net.hh"
 
 namespace stsim
@@ -75,7 +76,27 @@ struct SimServer::Inflight
     std::chrono::steady_clock::time_point deadline{};
     std::atomic<bool> done{false};
     std::atomic<int> cancelReason{kNone};
+
+    /** Admission instant, for the queue-wait histogram. */
+    std::chrono::steady_clock::time_point admitTime{};
+    /** Sink timestamp at admission when a trace was active then. */
+    bool traced = false;
+    std::uint64_t traceTs = 0;
 };
+
+namespace
+{
+
+std::uint64_t
+elapsedUs(std::chrono::steady_clock::time_point since)
+{
+    auto d = std::chrono::steady_clock::now() - since;
+    auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+} // namespace
 
 /**
  * One client connection. Owned jointly (shared_ptr) by its reader
@@ -108,7 +129,15 @@ struct SimServer::Conn
 };
 
 SimServer::SimServer(ServeOptions opts)
-    : opts_(std::move(opts)), pool_(opts_.workers)
+    : opts_(std::move(opts)),
+      queueWaitUs_(
+          obs::Registry::instance().histogram("serve.queue_wait_us")),
+      simTimeUs_(obs::Registry::instance().histogram("serve.sim_time_us")),
+      replyFlushUs_(
+          obs::Registry::instance().histogram("serve.reply_flush_us")),
+      jobsCompletedCtr_(
+          obs::Registry::instance().counter("serve.jobs_completed")),
+      pool_(opts_.workers)
 {
 }
 
@@ -453,7 +482,13 @@ SimServer::writerMain(const std::shared_ptr<Conn> &c)
         }
         c->cvSpace.notify_all();
         std::string err;
-        bool sent = sendAll(c->fd, line, &err);
+        bool sent;
+        {
+            TRACE_SPAN("serve.reply_flush");
+            auto flushStart = std::chrono::steady_clock::now();
+            sent = sendAll(c->fd, line, &err);
+            replyFlushUs_.observe(elapsedUs(flushStart));
+        }
         {
             std::lock_guard<std::mutex> lock(c->mu);
             c->writing = false;
@@ -476,7 +511,11 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
         return;
 
     serde::ServeRequest req;
-    serde::ParseOutcome parsed = serde::parseServeRequest(sv, req);
+    serde::ParseOutcome parsed;
+    {
+        TRACE_SPAN("serve.parse");
+        parsed = serde::parseServeRequest(sv, req);
+    }
     if (!parsed) {
         stats_.parseErrors++;
         blockingReply(c, errorLine("parse", 0, parsed.error));
@@ -490,6 +529,10 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
     }
     if (req.health) {
         blockingReply(c, healthLine(req.id));
+        return;
+    }
+    if (req.metrics) {
+        blockingReply(c, metricsLine(req.id));
         return;
     }
     stats_.requests++;
@@ -527,6 +570,11 @@ SimServer::handleLine(const std::shared_ptr<Conn> &c,
     inf->id = req.id;
     inf->job = std::move(req.job);
     inf->token = std::make_shared<CancelToken>();
+    inf->admitTime = std::chrono::steady_clock::now();
+    if (obs::TraceSink *sink = obs::TraceSink::current()) {
+        inf->traced = true;
+        inf->traceTs = sink->nowUs();
+    }
     std::uint64_t dl =
         req.deadlineMs ? req.deadlineMs : opts_.defaultDeadlineMs;
     if (opts_.maxDeadlineMs)
@@ -577,6 +625,15 @@ void
 SimServer::runJob(const std::shared_ptr<Conn> &c,
                   const std::shared_ptr<Inflight> &inf)
 {
+    // The job just left the admission queue for a sim worker.
+    queueWaitUs_.observe(elapsedUs(inf->admitTime));
+    if (inf->traced) {
+        if (obs::TraceSink *sink = obs::TraceSink::current()) {
+            sink->record("serve.queue_wait", inf->traceTs,
+                         sink->nowUs() - inf->traceTs);
+        }
+    }
+
     std::string reply;
     bool ok = false;
     bool cancelled = false;
@@ -589,7 +646,13 @@ SimServer::runJob(const std::shared_ptr<Conn> &c,
         if (inf->token->cancelled())
             throw JobCancelled();
         Simulator sim(inf->job.cfg);
-        SimResults r = sim.run(inf->token.get());
+        SimResults r;
+        {
+            TRACE_SPAN("serve.sim");
+            auto simStart = std::chrono::steady_clock::now();
+            r = sim.run(inf->token.get());
+            simTimeUs_.observe(elapsedUs(simStart));
+        }
         r.experiment = inf->job.experiment;
         reply = serde::resultRecordToJson(inf->id, r);
         ok = true;
@@ -623,6 +686,7 @@ SimServer::runJob(const std::shared_ptr<Conn> &c,
         reply = errorLine("bad_request", inf->id, detail);
     } else {
         stats_.completed++;
+        jobsCompletedCtr_.inc();
     }
 
     {
@@ -631,6 +695,14 @@ SimServer::runJob(const std::shared_ptr<Conn> &c,
         v.erase(std::remove(v.begin(), v.end(), inf), v.end());
     }
     admitted_.fetch_sub(1);
+    // One cross-thread span covering the whole admitted lifetime
+    // (admission -> reply handed to the writer).
+    if (inf->traced) {
+        if (obs::TraceSink *sink = obs::TraceSink::current()) {
+            sink->record("serve.request", inf->traceTs,
+                         sink->nowUs() - inf->traceTs);
+        }
+    }
     pushReserved(c, std::move(reply));
 }
 
@@ -652,10 +724,12 @@ SimServer::fleetDone(const std::shared_ptr<Conn> &c,
         // (byte-identical to `dump` by construction) or its own
         // bad_request error record with the id already spliced in.
         reply = std::move(res.line);
-        if (reply.rfind("{\"error\":", 0) == 0)
+        if (reply.rfind("{\"error\":", 0) == 0) {
             stats_.badRequests++;
-        else
+        } else {
             stats_.completed++;
+            jobsCompletedCtr_.inc();
+        }
         break;
     case FleetOutcome::kCancelled: {
         int reason = inf->cancelReason.load();
@@ -689,6 +763,16 @@ SimServer::fleetDone(const std::shared_ptr<Conn> &c,
         v.erase(std::remove(v.begin(), v.end(), inf), v.end());
     }
     admitted_.fetch_sub(1);
+    // Fleet jobs run out of process, so queue wait and sim time are
+    // not separable here; the whole-lifetime histogram and span still
+    // apply (admission -> fleet completion).
+    queueWaitUs_.observe(elapsedUs(inf->admitTime));
+    if (inf->traced) {
+        if (obs::TraceSink *sink = obs::TraceSink::current()) {
+            sink->record("serve.request", inf->traceTs,
+                         sink->nowUs() - inf->traceTs);
+        }
+    }
     pushReserved(c, std::move(reply));
 }
 
@@ -756,6 +840,22 @@ SimServer::healthLine(std::uint64_t id)
         }
         out += "]}";
     }
+    out += '}';
+    return out;
+}
+
+/**
+ * {"op":"metrics"} reply: the whole metrics registry as one flat
+ * record behind a leading "metrics":id echo. Flat on purpose --
+ * clients reuse serde::parseFlat and the obs::Histogram bucket
+ * helpers instead of needing a JSON DOM.
+ */
+std::string
+SimServer::metricsLine(std::uint64_t id)
+{
+    std::string out = "{\"metrics\":" + std::to_string(id);
+    bool first = false;
+    obs::Registry::instance().appendFlatFields(out, first);
     out += '}';
     return out;
 }

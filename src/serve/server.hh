@@ -14,6 +14,13 @@
  *   request  {"op":"health","id":N}    -> {"health":N,"stats":{...},
  *            "fleet":{...}} -- counters plus, under --isolate,
  *            per-worker state (pid, jobs, restarts, backoff stage).
+ *   request  {"op":"metrics","id":N}   -> {"metrics":N,
+ *            "c.<name>":V,"g.<name>":"V","h.<name>.count":V,...,
+ *            "h.<name>.buckets":"idx:count,..."} -- the full process
+ *            metrics-registry snapshot as one *flat* record (see
+ *            obs/metrics.hh), so clients can parseFlat it and diff
+ *            two snapshots' histogram buckets to get window-scoped
+ *            quantiles. Health keeps its historical shape.
  *   reply    {"index":ID,"results":{...}}
  *            -- byte-identical to a `stsim_runner dump` record for the
  *               same job, which is what the soak gate diffs against.
@@ -63,6 +70,7 @@
 #include <vector>
 
 #include "core/run_pool.hh"
+#include "obs/metrics.hh"
 #include "serve/worker_fleet.hh"
 
 namespace stsim
@@ -170,6 +178,7 @@ class SimServer
                    const std::shared_ptr<Inflight> &inf,
                    FleetResult res);
     std::string healthLine(std::uint64_t id);
+    std::string metricsLine(std::uint64_t id);
     void markDead(const std::shared_ptr<Conn> &c, bool slowOrGone);
     void finalizeConn(const std::shared_ptr<Conn> &c);
     bool blockingReply(const std::shared_ptr<Conn> &c,
@@ -180,6 +189,13 @@ class SimServer
     ServeOptions opts_;
     ServeStats stats_;
     std::size_t queueCap_ = 0;
+
+    // Registry-backed per-stage latency instruments (see the metric
+    // catalog in README): wait-free observes at request granularity.
+    obs::Histogram &queueWaitUs_;
+    obs::Histogram &simTimeUs_;
+    obs::Histogram &replyFlushUs_;
+    obs::Counter &jobsCompletedCtr_;
 
     int listenFd_ = -1;
     int boundTcpPort_ = -1;

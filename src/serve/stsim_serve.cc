@@ -7,21 +7,38 @@
  * its deadline, exit 0.
  */
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include <signal.h>
 
 #include "common/arg_parse.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/server.hh"
 
 using namespace stsim;
 
 namespace
 {
+
+/** Observability surfaces; CLI-only, not part of ServeOptions. */
+struct ObsCli
+{
+    std::string traceFile;
+    std::string metricsFile;
+    std::uint64_t statsIntervalSec = 0;
+};
 
 std::uint64_t
 parseU64(const char *flag, const char *s)
@@ -42,7 +59,7 @@ int usage(FILE *to);
  */
 void
 registerFlags(args::FlagSet &fs, serve::ServeOptions &opts,
-              bool &haveAddr)
+              ObsCli &obsCli, bool &haveAddr)
 {
     for (const char *h : {"--help", "-h", "help"})
         fs.boolean(h, [] { std::exit(usage(stdout)); });
@@ -107,7 +124,17 @@ registerFlags(args::FlagSet &fs, serve::ServeOptions &opts,
         .u64("--respawn-base-ms", "D", &opts.respawnBaseMs,
              "worker respawn backoff base (default 50)")
         .u64("--respawn-cap-ms", "D", &opts.respawnCapMs,
-             "worker respawn backoff cap (default 5000)");
+             "worker respawn backoff cap (default 5000)")
+        .str("--trace", "FILE", &obsCli.traceFile,
+             "write a Chrome trace_event JSON span trace\n"
+             "of the serving session to FILE on exit\n"
+             "(load it in Perfetto or chrome://tracing)")
+        .str("--metrics", "FILE", &obsCli.metricsFile,
+             "write the final metrics-registry snapshot\n"
+             "(one JSONL record) to FILE on exit")
+        .u64("--stats-interval-sec", "N", &obsCli.statsIntervalSec,
+             "print a one-line stats summary to stderr\n"
+             "every N seconds (0 = off, the default)");
 }
 
 args::Diag
@@ -134,9 +161,10 @@ int
 usage(FILE *to)
 {
     serve::ServeOptions dummy;
+    ObsCli dummyObs;
     bool dummyAddr = false;
     args::FlagSet fs(serveDiag());
-    registerFlags(fs, dummy, dummyAddr);
+    registerFlags(fs, dummy, dummyObs, dummyAddr);
     std::fprintf(to,
 "usage: stsim_serve (--unix PATH | --tcp PORT) [options]\n"
 "\n"
@@ -156,12 +184,21 @@ main(int argc, char **argv)
     ::signal(SIGPIPE, SIG_IGN);
 
     serve::ServeOptions opts;
+    ObsCli obsCli;
     bool haveAddr = false;
     args::FlagSet fs(serveDiag());
-    registerFlags(fs, opts, haveAddr);
+    registerFlags(fs, opts, obsCli, haveAddr);
     fs.parse(argc, argv, 1);
     if (!haveAddr)
         return usage(stderr);
+
+    // Tracing is installed before the server exists so accept/parse
+    // spans from the very first connection land in the file.
+    std::unique_ptr<obs::TraceSink> traceSink;
+    if (!obsCli.traceFile.empty()) {
+        traceSink = std::make_unique<obs::TraceSink>();
+        obs::TraceSink::install(traceSink.get());
+    }
 
     // Block the shutdown signals in every thread (the server's threads
     // inherit this mask), then field them synchronously below.
@@ -180,6 +217,41 @@ main(int argc, char **argv)
         stsim_inform("stsim_serve: listening on 127.0.0.1:%d",
                      server.tcpPort());
 
+    // Periodic one-line operator stats: the key ServeStats counters
+    // plus live registry gauges/quantiles, on the leveled log channel.
+    std::mutex statsMu;
+    std::condition_variable statsCv;
+    bool statsStop = false;
+    std::thread statsThread;
+    if (obsCli.statsIntervalSec) {
+        statsThread = std::thread([&] {
+            obs::Registry &reg = obs::Registry::instance();
+            std::unique_lock<std::mutex> lock(statsMu);
+            while (!statsCv.wait_for(
+                lock, std::chrono::seconds(obsCli.statsIntervalSec),
+                [&] { return statsStop; })) {
+                const serve::ServeStats &s = server.stats();
+                stsim_inform(
+                    "stsim_serve: stats requests=%llu completed=%llu "
+                    "busy=%llu queue-depth=%lld idle-workers=%lld "
+                    "qwait-p99-us=%llu sim-p99-us=%llu",
+                    static_cast<unsigned long long>(s.requests.load()),
+                    static_cast<unsigned long long>(s.completed.load()),
+                    static_cast<unsigned long long>(s.busy.load()),
+                    static_cast<long long>(
+                        reg.gauge("runpool.queue_depth").value()),
+                    static_cast<long long>(
+                        reg.gauge("runpool.idle_workers").value()),
+                    static_cast<unsigned long long>(
+                        reg.histogram("serve.queue_wait_us")
+                            .quantile(0.99)),
+                    static_cast<unsigned long long>(
+                        reg.histogram("serve.sim_time_us")
+                            .quantile(0.99)));
+            }
+        });
+    }
+
     int sig = 0;
     sigwait(&set, &sig);
     stsim_inform("stsim_serve: %s received, draining "
@@ -188,6 +260,42 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(opts.drainGraceMs));
     server.beginDrain();
     server.waitDrained();
+
+    if (statsThread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            statsStop = true;
+        }
+        statsCv.notify_all();
+        statsThread.join();
+    }
+
+    // Every worker/reader thread is parked or joined by now, so the
+    // retract-flush-write sequence sees a complete, quiescent trace.
+    if (traceSink) {
+        obs::TraceSink::install(nullptr);
+        if (!traceSink->writeFile(obsCli.traceFile)) {
+            stsim_warn("stsim_serve: cannot write trace file %s: %s",
+                       obsCli.traceFile.c_str(), std::strerror(errno));
+        }
+    }
+    if (!obsCli.metricsFile.empty()) {
+        std::string snap = obs::Registry::instance().snapshotJson();
+        std::FILE *f = std::fopen(obsCli.metricsFile.c_str(), "w");
+        bool ok = f != nullptr;
+        if (ok) {
+            ok = std::fwrite(snap.data(), 1, snap.size(), f) ==
+                     snap.size() &&
+                 std::fputc('\n', f) != EOF;
+        }
+        if (f && std::fclose(f) != 0)
+            ok = false;
+        if (!ok) {
+            stsim_warn("stsim_serve: cannot write metrics file %s: %s",
+                       obsCli.metricsFile.c_str(),
+                       std::strerror(errno));
+        }
+    }
 
     const serve::ServeStats &s = server.stats();
     stsim_inform(

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "core/job_serde.hh"
+#include "obs/metrics.hh"
 
 namespace stsim
 {
@@ -21,6 +22,37 @@ namespace
 {
 
 using clock_t_ = std::chrono::steady_clock;
+
+/**
+ * Fleet supervision counters. Process-wide (shared if several fleets
+ * ever coexist); fetched lazily because these are rare-event paths.
+ * fleet.kills counts deliberate supervisor kills while serving
+ * (cancel/deadline, oversize reply, bad or late hello) -- not the
+ * defensive kill in the death handler or shutdown stragglers.
+ */
+obs::Counter &
+respawnsCtr()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("fleet.respawns");
+    return c;
+}
+
+obs::Counter &
+quarantinesCtr()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("fleet.quarantines");
+    return c;
+}
+
+obs::Counter &
+killsCtr()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("fleet.kills");
+    return c;
+}
 
 /// A worker drowning us in output is as dead as one that is silent.
 constexpr std::size_t kMaxReplyBytes = std::size_t{8} << 20;
@@ -265,6 +297,7 @@ WorkerFleet::handleDeath(std::size_t idx, clock_t_::time_point now)
             quarantined_.insert(job.finger);
             fingerKills_.erase(job.finger);
             poisonRejected_++;
+            quarantinesCtr().inc();
             stsim_warn("fleet: job (id %llu) killed %u consecutive "
                        "workers (%s); quarantined",
                        static_cast<unsigned long long>(job.id), kills,
@@ -291,6 +324,7 @@ WorkerFleet::handleDeath(std::size_t idx, clock_t_::time_point now)
 
     s.restarts++;
     restartsTotal_++;
+    respawnsCtr().inc();
     if (s.killedByFleet) {
         // Cancel/deadline kill: the worker was healthy; no penalty.
         s.killedByFleet = false;
@@ -378,6 +412,7 @@ WorkerFleet::readSlot(std::size_t idx, clock_t_::time_point now)
                 stsim_warn("fleet: worker %zu reply exceeds %zu "
                            "bytes; killing it",
                            idx, kMaxReplyBytes);
+                killsCtr().inc();
                 launcher_.kill(s.proc.pid);
                 eof = true;
                 break;
@@ -407,6 +442,7 @@ WorkerFleet::readSlot(std::size_t idx, clock_t_::time_point now)
                 stsim_warn("fleet: worker %zu sent garbage instead "
                            "of hello; killing it",
                            idx);
+                killsCtr().inc();
                 launcher_.kill(s.proc.pid);
                 handleDeath(idx, now);
                 return;
@@ -470,6 +506,7 @@ WorkerFleet::supervisorMain()
                     stsim_warn("fleet: worker %zu (pid %d) never "
                                "said hello; respawning",
                                i, static_cast<int>(s.proc.pid));
+                    killsCtr().inc();
                     launcher_.kill(s.proc.pid);
                     handleDeath(i, now);
                 }
@@ -485,6 +522,7 @@ WorkerFleet::supervisorMain()
                     Job job = std::move(*s.job);
                     s.job.reset();
                     s.killedByFleet = true;
+                    killsCtr().inc();
                     launcher_.kill(s.proc.pid);
                     FleetResult res;
                     res.outcome = FleetOutcome::kCancelled;

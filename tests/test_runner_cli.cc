@@ -329,7 +329,8 @@ TEST(RunnerHelp, EveryPublicSubcommandAndFlagIsDocumented)
           "--format", "--memoize-warmup", "--from-snapshot", "--index",
           "--expect", "--allow-dups", "--dir", "--shards",
           "--max-attempts", "--concurrent", "--retry-backoff-ms",
-          "--retry-backoff-cap-ms", "--runner"}) {
+          "--retry-backoff-cap-ms", "--runner", "--trace",
+          "--metrics"}) {
         EXPECT_NE(r.output.find(flag), std::string::npos)
             << "flag missing from usage: " << flag;
     }
@@ -462,7 +463,14 @@ TEST(ServeHelp, GoldenFullText)
 "                          quarantined as {\"error\":\"poison\"}\n"
 "                          (default 2)\n"
 "  --respawn-base-ms D     worker respawn backoff base (default 50)\n"
-"  --respawn-cap-ms D      worker respawn backoff cap (default 5000)\n";
+"  --respawn-cap-ms D      worker respawn backoff cap (default 5000)\n"
+"  --trace FILE            write a Chrome trace_event JSON span trace\n"
+"                          of the serving session to FILE on exit\n"
+"                          (load it in Perfetto or chrome://tracing)\n"
+"  --metrics FILE          write the final metrics-registry snapshot\n"
+"                          (one JSONL record) to FILE on exit\n"
+"  --stats-interval-sec N  print a one-line stats summary to stderr\n"
+"                          every N seconds (0 = off, the default)\n";
     for (const char *flag : {"--help", "-h", "help"}) {
         CmdResult r = run(serveBin() + " " + flag + " 2>/dev/null");
         EXPECT_EQ(r.exitCode, 0) << flag;
