@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a fresh microbench JSON against the committed baseline.
+
+Non-gating by design: the perf trajectory lives in
+BENCH_microbench.json, and this script turns a fresh run of the same
+benchmarks into a readable drift report. In CI it runs with
+--github --strict under continue-on-error, so a regression paints a
+::warning:: annotation on the run (loudest for the whole-core
+BM_CoreSimulation* rows) without blocking the merge -- single-core CI
+runners are far too noisy for a hard perf gate.
+
+Usage:
+  scripts/perf_regress.py --baseline BENCH_microbench.json \
+      --current fresh.json [--tolerance 0.25] [--github] [--strict]
+
+Exit status: 0, or 1 with --strict when any benchmark regressed past
+the tolerance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """name -> real_time from a google-benchmark JSON file.
+
+    Plain iteration rows are taken as-is; when a benchmark was run with
+    repetitions, the median aggregate row is preferred and the per-rep
+    rows are ignored. Synthetic rows appended by bench/run_bench.sh
+    (warmup_sweep/*) follow the same schema and need no special case.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    plain = {}
+    medians = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("run_name") or row.get("name")
+        if not name or "real_time" not in row:
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[name] = float(row["real_time"])
+        elif row.get("run_type", "iteration") == "iteration":
+            plain.setdefault(name, float(row["real_time"]))
+    plain.update(medians)
+    return plain
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_microbench.json",
+                    help="committed benchmark JSON (the trajectory)")
+    ap.add_argument("--current", required=True,
+                    help="freshly recorded benchmark JSON")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown before a row "
+                         "counts as a regression (default 0.25)")
+    ap.add_argument("--github", action="store_true",
+                    help="emit ::warning:: workflow annotations for "
+                         "regressions")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any row regressed")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("perf_regress: no common benchmarks between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    regressed = []
+    width = max(len(n) for n in shared)
+    for name in shared:
+        b, c = base[name], cur[name]
+        if b <= 0:
+            continue
+        ratio = c / b
+        mark = " "
+        if ratio > 1.0 + args.tolerance:
+            mark = "R"  # slower than baseline beyond tolerance
+            regressed.append((name, ratio))
+        elif ratio < 1.0 - args.tolerance:
+            mark = "+"  # markedly faster; worth refreshing baseline
+        print(f"{mark} {name:<{width}}  base {b:12.3f}  "
+              f"cur {c:12.3f}  x{ratio:.3f}")
+
+    only = sorted(set(cur) - set(base))
+    for name in only:
+        print(f"N {name:<{width}}  (no baseline row)")
+
+    for name, ratio in regressed:
+        msg = (f"perf regression: {name} is {ratio:.2f}x the "
+               f"committed baseline (tolerance "
+               f"{1.0 + args.tolerance:.2f}x)")
+        if args.github:
+            # The whole-core rows are the tentpole metric; annotate
+            # them on the file that defines them so the warning lands
+            # somewhere clickable.
+            if name.startswith("BM_CoreSimulation"):
+                print(f"::warning file=bench/microbench.cc::{msg}")
+            else:
+                print(f"::warning::{msg}")
+        else:
+            print(msg, file=sys.stderr)
+
+    if regressed:
+        print(f"{len(regressed)} of {len(shared)} benchmarks "
+              "regressed past tolerance", file=sys.stderr)
+        return 1 if args.strict else 0
+    print(f"all {len(shared)} shared benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

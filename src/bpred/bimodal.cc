@@ -22,7 +22,8 @@ DirectionPredictor::Prediction
 Bimodal::predict(Addr pc, std::uint64_t /*hist*/)
 {
     const SatCounter &c = pht_[(pc >> 2) & lowMask(indexBits_)];
-    return {c.isTaken(), c.value(), c.maxValue()};
+    return {c.isTaken(), static_cast<std::uint8_t>(c.value()),
+            static_cast<std::uint8_t>(c.maxValue())};
 }
 
 void

@@ -35,7 +35,7 @@ BpredUnit::BpredUnit(const BpredConfig &cfg)
 BranchPrediction
 BpredUnit::predict(const TraceInst &inst)
 {
-    stsim_assert(inst.isBranch(), "predict() on non-control inst");
+    stsim_dbg_assert(inst.isBranch(), "predict() on non-control inst");
     BranchPrediction bp;
     bp.histBefore = specHist_;
     bp.rasCp = ras_.checkpoint();

@@ -39,12 +39,15 @@ struct BpredConfig
  */
 struct BranchPrediction
 {
-    bool predTaken = false;
+    // Wide members first, flags and the byte-sized counter state last:
+    // the struct packs to 40 bytes and is embedded in every DynInst,
+    // so its size is hot-loop cache footprint.
     Addr predTarget = 0;   ///< 0 when the target is unknown (BTB miss)
-    bool btbHit = false;
-    DirectionPredictor::Prediction dir; ///< raw counter (cond only)
     std::uint64_t histBefore = 0;       ///< global history checkpoint
     Ras::Checkpoint rasCp;              ///< RAS checkpoint
+    DirectionPredictor::Prediction dir; ///< raw counter (cond only)
+    bool predTaken = false;
+    bool btbHit = false;
 };
 
 /**

@@ -34,11 +34,11 @@ class DirectionPredictor
     struct Prediction
     {
         bool taken = false;
-        unsigned counter = 0;     ///< raw saturating-counter value
-        unsigned counterMax = 3;  ///< its saturation value
+        std::uint8_t counter = 0;    ///< raw saturating-counter value
+        std::uint8_t counterMax = 3; ///< its saturation value
         bool weak() const
         {
-            unsigned mid = counterMax / 2;
+            unsigned mid = counterMax / 2u;
             return counter == mid || counter == mid + 1;
         }
     };

@@ -30,7 +30,8 @@ DirectionPredictor::Prediction
 Gshare::predict(Addr pc, std::uint64_t hist)
 {
     const SatCounter &c = pht_[index(pc, hist)];
-    return {c.isTaken(), c.value(), c.maxValue()};
+    return {c.isTaken(), static_cast<std::uint8_t>(c.value()),
+            static_cast<std::uint8_t>(c.maxValue())};
 }
 
 void

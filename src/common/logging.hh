@@ -139,6 +139,21 @@ std::string formatStr(const char *fmt, ...) __attribute__((format(printf, 1, 2))
         } \
     } while (0)
 
+/**
+ * Per-instruction invariant check: active in debug builds, compiled
+ * out under NDEBUG. stsim_assert stays on in release builds, which is
+ * right for once-per-run or once-per-event checks, but a check inside
+ * the fetch/dispatch/issue/writeback/commit per-instruction loops is
+ * measurable at whole-simulation throughput; those use this tier.
+ */
+#ifdef NDEBUG
+#define stsim_dbg_assert(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define stsim_dbg_assert(cond, ...) stsim_assert(cond, __VA_ARGS__)
+#endif
+
 } // namespace stsim
 
 #endif // STSIM_COMMON_LOGGING_HH

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Software-prefetch hint for the pipeline's walk-ahead paths (next
+ * ready window slot, next pipe-queue slot, next writeback event).
+ *
+ * STSIM_PREFETCH(p) expands to __builtin_prefetch(p) by default and to
+ * nothing when the build defines STSIM_DISABLE_PREFETCH (CMake option
+ * STSIM_ENABLE_PREFETCH=OFF), so the toggle costs literally zero when
+ * disabled -- no branch, no call, no argument evaluation side effects
+ * are permitted at call sites (all current sites pass a plain address
+ * expression).
+ */
+
+#ifndef STSIM_COMMON_PREFETCH_HH
+#define STSIM_COMMON_PREFETCH_HH
+
+#if defined(STSIM_DISABLE_PREFETCH) || !defined(__GNUC__)
+#define STSIM_PREFETCH(p) ((void)0)
+#else
+#define STSIM_PREFETCH(p) __builtin_prefetch((p))
+#endif
+
+#endif // STSIM_COMMON_PREFETCH_HH

@@ -22,14 +22,17 @@ class SatCounter
 {
   public:
     /**
-     * @param bits Counter width in bits (1..15).
+     * @param bits Counter width in bits (1..8; real predictors use 2-4
+     *             bit counters, and the byte-sized representation
+     *             halves the footprint of the large PHT/CIT arrays).
      * @param initial Initial counter value (clamped to range).
      */
     explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
-        : maxVal_((1u << bits) - 1),
-          value_(initial > maxVal_ ? maxVal_ : initial)
+        : maxVal_(static_cast<std::uint8_t>((1u << bits) - 1)),
+          value_(static_cast<std::uint8_t>(
+              initial > maxVal_ ? maxVal_ : initial))
     {
-        stsim_assert(bits >= 1 && bits <= 15, "bits=%u", bits);
+        stsim_assert(bits >= 1 && bits <= 8, "bits=%u", bits);
     }
 
     /** Saturating increment. */
@@ -39,7 +42,11 @@ class SatCounter
     void decrement() { if (value_ > 0) --value_; }
 
     /** Set to an explicit value (clamped). */
-    void set(unsigned v) { value_ = v > maxVal_ ? maxVal_ : v; }
+    void
+    set(unsigned v)
+    {
+        value_ = static_cast<std::uint8_t>(v > maxVal_ ? maxVal_ : v);
+    }
 
     /** Reset to zero. */
     void reset() { value_ = 0; }
@@ -72,8 +79,8 @@ class SatCounter
     bool isMin() const { return value_ == 0; }
 
   private:
-    std::uint16_t maxVal_;
-    std::uint16_t value_;
+    std::uint8_t maxVal_;
+    std::uint8_t value_;
 };
 
 } // namespace stsim

@@ -1,5 +1,6 @@
 #include "run_pool.hh"
 
+#include <bit>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -31,9 +32,11 @@ RunPool::RunPool(unsigned workers)
 {
     if (workers == 0)
         workers = defaultWorkers();
+    idleBits_.assign((workers + 63) / 64, 0);
+    cvWorker_ = std::make_unique<std::condition_variable[]>(workers);
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 RunPool::~RunPool()
@@ -43,22 +46,41 @@ RunPool::~RunPool()
         cvIdle_.wait(lock, [this] { return inFlight_ == 0; });
         stopping_ = true;
     }
-    cvWork_.notify_all();
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        cvWorker_[i].notify_one();
     for (std::thread &t : threads_)
         t.join();
+}
+
+int
+RunPool::claimIdleWorker()
+{
+    for (std::size_t w = 0; w < idleBits_.size(); ++w) {
+        const std::uint64_t word = idleBits_[w];
+        if (word) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(word));
+            idleBits_[w] = word & (word - 1); // claim: clear lowest
+            return static_cast<int>(w * 64 + bit);
+        }
+    }
+    return -1; // every worker busy; one will drain the queue
 }
 
 void
 RunPool::submit(std::function<void()> job)
 {
+    int w;
     {
         std::lock_guard<std::mutex> lock(mu_);
         stsim_assert(!stopping_, "submit on a stopping RunPool");
         queue_.push_back(std::move(job));
         ++inFlight_;
         queueDepth_.add(1);
+        w = claimIdleWorker();
     }
-    cvWork_.notify_one();
+    if (w >= 0)
+        cvWorker_[w].notify_one();
 }
 
 void
@@ -83,16 +105,23 @@ RunPool::parallelFor(std::size_t n,
 }
 
 void
-RunPool::workerLoop()
+RunPool::workerLoop(unsigned idx)
 {
     for (;;) {
         std::function<void()> job;
         {
             std::unique_lock<std::mutex> lock(mu_);
-            idleWorkers_.add(1);
-            cvWork_.wait(lock,
-                         [this] { return stopping_ || !queue_.empty(); });
-            idleWorkers_.sub(1);
+            while (!stopping_ && queue_.empty()) {
+                // Park: publish the idle bit, wait for a claim. The
+                // bit is re-set on every loop iteration because a
+                // claimant's job may have been drained by another
+                // worker before this one woke.
+                setIdle(idx);
+                idleWorkers_.add(1);
+                cvWorker_[idx].wait(lock);
+                idleWorkers_.sub(1);
+                clearIdle(idx);
+            }
             if (queue_.empty())
                 return; // stopping and drained
             job = std::move(queue_.front());

@@ -10,6 +10,7 @@
 #include "confidence/perfect.hh"
 #include "core/job_serde.hh"
 #include "core/state_serde.hh"
+#include "obs/metrics.hh"
 #include "trace/profile.hh"
 
 namespace stsim
@@ -218,6 +219,18 @@ Simulator::runMeasure(const CancelToken *cancel)
     r.il1MissRate = memory_->il1().missRate();
     r.dl1MissRate = memory_->dl1().missRate();
     r.l2MissRate = memory_->l2().missRate();
+
+    // Flush the core's plain hot-path counters into the process-wide
+    // registry once per run; the pipeline itself never touches an
+    // atomic, and results are unaffected (observability only).
+    {
+        const Core::HotCounters &h = core_->hotCounters();
+        obs::Registry &reg = obs::Registry::instance();
+        reg.counter("core.fetch_groups").inc(h.fetchGroups);
+        reg.counter("core.producer_table_hits").inc(h.producerHits);
+        reg.counter("core.producer_table_misses")
+            .inc(h.producerMisses);
+    }
     return r;
 }
 

@@ -58,6 +58,17 @@ Core::Core(const CoreConfig &cfg, const Deps &deps)
     readyWords_.assign(bits / 64, 0);
     readyMask_ = bits - 1;
 
+    // Producer table: at most ruuSize live producers; 2x cells keeps
+    // the load factor low so growth is rare (and exact when it runs).
+    prodTab_.init(cfg_.ruuSize * 2);
+
+    // LSQ-position masks share the ready bitmap's aliasing argument:
+    // the LSQ never holds more than lsqSize entries, so a pow2 bit
+    // ring of at least that many positions is collision free.
+    unknownStoreMask_.init(cfg_.lsqSize);
+    storeAddrMask_.init(cfg_.lsqSize);
+    blockedLoadMask_.init(cfg_.lsqSize);
+
     // Writeback calendar: covers the longest completion latency (FU +
     // L1 + L2 + memory + TLB walk) plus drain lag; grows on demand.
     wbCal_.resize(256);
@@ -87,9 +98,16 @@ Core::nextReadyPos(std::uint64_t pos, std::uint64_t end) const
 }
 
 void
+Core::growProducerTable(InstSeq seq, std::uint32_t slot)
+{
+    prodTab_.insert(seq, slot,
+                    [this](auto &&fn) { forEachLiveProducer(fn); });
+}
+
+void
 Core::wbPush(Cycle at, InstSeq seq)
 {
-    stsim_assert(at > now_, "writeback scheduled in the past");
+    stsim_dbg_assert(at > now_, "writeback scheduled in the past");
     for (;;) {
         WbBucket &b = wbCal_[at & wbCalMask_];
         if (b.pending() && b.cycle != at) {
@@ -100,7 +118,7 @@ Core::wbPush(Cycle at, InstSeq seq)
             b.clear();
             b.cycle = at;
         }
-        stsim_assert(!b.sorted, "push into a draining bucket");
+        stsim_dbg_assert(!b.sorted, "push into a draining bucket");
         b.ev.push_back(seq);
         ++wbCount_;
         return;
@@ -195,32 +213,14 @@ Core::wakeConsumers(DynInst &producer)
         deps_.power->record(PUnit::Window, cam_cnt, cam_wrong);
 }
 
-InstSeq
-Core::minUnknownStore()
-{
-    if (usHead_ >= 4096) { // reclaim the settled prefix
-        unknownStores_.erase(unknownStores_.begin(),
-                             unknownStores_.begin() +
-                                 static_cast<std::ptrdiff_t>(usHead_));
-        usHead_ = 0;
-    }
-    while (usHead_ < unknownStores_.size()) {
-        InstSeq s = unknownStores_[usHead_];
-        auto slot = slotOf(s);
-        if (slot && !slots_[*slot].addrReady)
-            return s; // oldest still-unknown store
-        ++usHead_; // squashed or address now known: settled for good
-    }
-    unknownStores_.clear();
-    usHead_ = 0;
-    return kInvalidSeq;
-}
-
 bool
 Core::loadMayIssue(const DynInst &di)
 {
-    InstSeq m = minUnknownStore();
-    return m == kInvalidSeq || m > di.seq;
+    // The load may issue when no older store still has an unknown
+    // address: one find-first over the unknown-store mask, bounded by
+    // the load's own LSQ position (LSQ position order == seq order).
+    return unknownStoreMask_.firstSet(lsqBasePos_, di.lsqPos) ==
+           ScanMask::kNone;
 }
 
 bool
@@ -228,14 +228,16 @@ Core::tryForward(const DynInst &load)
 {
     if (readyStores_ == 0)
         return false; // no store in the window has a known address
-    Addr word = load.ti.memAddr >> 3;
-    // Only entries older than the load can forward; its own LSQ
-    // position bounds the scan.
-    for (std::size_t i = load.lsqPos - lsqBasePos_; i-- > 0;) {
-        const DynInst &e = slots_[lsq_[i]];
-        if (e.ti.isStore() && e.addrReady &&
-            (e.ti.memAddr >> 3) == word)
+    const Addr word = load.ti.memAddr >> 3;
+    // ctz walk over address-ready stores older than the load (the old
+    // path scanned every LSQ entry below the load).
+    std::uint64_t pos = lsqBasePos_;
+    while ((pos = storeAddrMask_.firstSet(pos, load.lsqPos)) !=
+           ScanMask::kNone) {
+        const DynInst &e = slots_[lsq_[pos - lsqBasePos_]];
+        if ((e.ti.memAddr >> 3) == word)
             return true;
+        ++pos;
     }
     return false;
 }
@@ -243,19 +245,22 @@ Core::tryForward(const DynInst &load)
 void
 Core::releaseBlockedLoads()
 {
-    if (blockedLoads_.empty())
+    if (blockedLoadMask_.none())
         return;
-    InstSeq min_unknown = minUnknownStore();
-    std::size_t kept = 0;
-    for (InstSeq s : blockedLoads_) {
-        if (min_unknown == kInvalidSeq || s < min_unknown) {
-            if (auto slot = slotOf(s))
-                setReady(slots_[*slot]);
-        } else {
-            blockedLoads_[kept++] = s;
-        }
+    // Blocked loads strictly older than the oldest unknown-address
+    // store wake up; with no unknown store left, all of them do.
+    const std::uint64_t lsq_end = lsqBasePos_ + lsq_.size();
+    std::uint64_t limit = unknownStoreMask_.firstSet(lsqBasePos_,
+                                                     lsq_end);
+    if (limit == ScanMask::kNone)
+        limit = lsq_end;
+    std::uint64_t pos = lsqBasePos_;
+    while ((pos = blockedLoadMask_.firstSet(pos, limit)) !=
+           ScanMask::kNone) {
+        blockedLoadMask_.clear(pos);
+        setReady(slots_[lsq_[pos - lsqBasePos_]]);
+        ++pos;
     }
-    blockedLoads_.resize(kept);
 }
 
 } // namespace stsim

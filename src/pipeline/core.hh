@@ -23,6 +23,7 @@
 #include "bpred/bpred_unit.hh"
 #include "cache/hierarchy.hh"
 #include "common/logging.hh"
+#include "common/scan_mask.hh"
 #include "common/seq_ring.hh"
 #include "common/types.hh"
 #include "confidence/dispatch.hh"
@@ -32,6 +33,7 @@
 #include "pipeline/core_stats.hh"
 #include "pipeline/dyn_inst.hh"
 #include "pipeline/fu_pool.hh"
+#include "pipeline/producer_table.hh"
 #include "power/power_model.hh"
 #include "throttle/controller.hh"
 #include "trace/workload.hh"
@@ -65,7 +67,7 @@ class SlotRing
     void
     push_back(std::uint32_t v)
     {
-        stsim_assert(size() <= mask_, "slot ring overflow");
+        stsim_dbg_assert(size() <= mask_, "slot ring overflow");
         buf_[tail_++ & mask_] = v;
     }
 
@@ -131,6 +133,21 @@ class Core
     /** In-flight instruction count (diagnostics/tests). */
     std::size_t inFlight() const { return inflightCount_; }
 
+    /**
+     * Hot-path event counts for the observability registry. Plain
+     * (non-atomic) members bumped on the per-cycle paths; the
+     * simulator flushes them into obs counters once per run, so the
+     * pipeline itself never touches an atomic.
+     */
+    struct HotCounters
+    {
+        std::uint64_t fetchGroups = 0;    ///< batched fetch-group calls
+        std::uint64_t producerHits = 0;   ///< dispatch resolves: waiting
+        std::uint64_t producerMisses = 0; ///< dispatch resolves: ready
+    };
+
+    const HotCounters &hotCounters() const { return hot_; }
+
     /** Cycles since the last commit (deadlock watchdog). */
     Cycle cyclesSinceCommit() const { return now_ - lastCommitCycle_; }
 
@@ -176,10 +193,6 @@ class Core
         WaitBranch,  ///< stalled until guard branch resolves
     };
 
-    /** Produce the next instruction on the current fetch path,
-     *  written straight into @p out (avoids a per-inst copy). */
-    void nextFetchInst(TraceInst &out);
-
     /** Handle a fetched control instruction; returns next fetch PC or
      *  nullopt when the fetch group must end. */
     std::optional<Addr> processControl(DynInst &di);
@@ -199,10 +212,23 @@ class Core
     std::uint32_t
     allocSlot()
     {
-        stsim_assert(!freeSlots_.empty(), "slot pool exhausted");
+        std::uint32_t s = allocSlotRaw();
+        slots_[s].reset();
+        return s;
+    }
+
+    /**
+     * Pop a slot without resetting it. The fetch group path allocates
+     * a line's worth of slots before knowing how many the generator
+     * fills; unused ones go straight back, so the reset is deferred to
+     * the instructions actually kept.
+     */
+    std::uint32_t
+    allocSlotRaw()
+    {
+        stsim_dbg_assert(!freeSlots_.empty(), "slot pool exhausted");
         std::uint32_t s = freeSlots_.back();
         freeSlots_.pop_back();
-        slots_[s].reset();
         return s;
     }
 
@@ -246,6 +272,24 @@ class Core
                 }
             });
     }
+
+    /** Cold path of producer publication: the table doubles until
+     *  @p seq's cell is collision-free, then the entry lands. */
+    void growProducerTable(InstSeq seq, std::uint32_t slot);
+
+    /** Enumerate live producers (in-window, incomplete, writes a
+     *  destination) for ProducerTable growth and restore. */
+    template <typename Fn>
+    void
+    forEachLiveProducer(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < rob_.size(); ++i) {
+            const std::uint32_t s = rob_[i];
+            const DynInst &di = slots_[s];
+            if (di.ti.hasDest && !di.completed)
+                fn(di.seq, s);
+        }
+    }
     /// @}
 
     /// @name Ready tracking
@@ -288,9 +332,6 @@ class Core
 
     /// @name Issue helpers
     /// @{
-    /** Oldest in-flight store with an unknown address, or
-     *  kInvalidSeq. Advances past settled entries (amortized O(1)). */
-    InstSeq minUnknownStore();
     bool loadMayIssue(const DynInst &di);
     /** Try store-to-load forwarding; true when forwarded. */
     bool tryForward(const DynInst &load);
@@ -323,6 +364,17 @@ class Core
     std::uint64_t lsqBasePos_ = 0; ///< position of lsq_.front()
     unsigned readyStores_ = 0; ///< in-window stores with known address
 
+    // Last-producer table: dispatch resolves srcDist operands with one
+    // indexed load instead of slotOf probes plus a DynInst deref.
+    ProducerTable prodTab_;
+
+    // Per-domain masks over LSQ positions (position order == seq order
+    // for memory ops, so every seq comparison the old vector walks did
+    // becomes a position compare / ctz find-first).
+    ScanMask unknownStoreMask_; ///< stores whose address is not known
+    ScanMask storeAddrMask_;    ///< stores with a known address
+    ScanMask blockedLoadMask_;  ///< loads waiting on an older store
+
     // Scheduling: ready bitmap over window positions. robBasePos_ is
     // the position of rob_.front(); the window covers
     // [robBasePos_, robBasePos_ + rob_.size()).
@@ -353,15 +405,8 @@ class Core
     Cycle wbCursor_ = 0;      ///< oldest cycle that may hold events
     std::size_t wbCount_ = 0; ///< pending events across all buckets
 
-    // In-flight stores with unknown addresses: seqs in dispatch
-    // (i.e. ascending) order; entries settle in place -- liveness is
-    // derived from the slot (squashed / address now known) -- and
-    // usHead_ skips settled prefixes, so min lookup is amortized O(1).
-    std::vector<InstSeq> unknownStores_;
-    std::size_t usHead_ = 0;
-
-    std::vector<InstSeq> blockedLoads_;
     FuPool fuPool_;
+    HotCounters hot_;
 
     /** Devirtualized estimate() for the (single) estimator; null when
      *  the core has no confidence estimator. */

@@ -4,6 +4,7 @@
  */
 
 #include "common/logging.hh"
+#include "common/prefetch.hh"
 #include "core.hh"
 
 namespace stsim
@@ -17,19 +18,23 @@ Core::commitStage()
     while (n < cfg_.commitWidth && !rob_.empty()) {
         std::uint32_t slot = rob_.front();
         DynInst &di = inst(slot);
+        if (rob_.size() > 1)
+            STSIM_PREFETCH(&slots_[rob_[1]]);
         if (!di.completed)
             break;
-        stsim_assert(!di.wrongPath,
+        stsim_dbg_assert(!di.wrongPath,
                      "wrong-path instruction reached commit");
         rob_.pop_front();
         ++robBasePos_;
         if (isMemory(di.ti.cls)) {
-            stsim_assert(!lsq_.empty() && lsq_.front() == slot,
+            stsim_dbg_assert(!lsq_.empty() && lsq_.front() == slot,
                          "LSQ out of sync at commit");
             lsq_.pop_front();
             ++lsqBasePos_;
-            if (di.ti.isStore())
+            if (di.ti.isStore()) {
                 --readyStores_; // committed stores had known addresses
+                storeAddrMask_.clear(di.lsqPos);
+            }
         }
 
         if (di.ti.isStore()) {
@@ -75,10 +80,20 @@ Core::squashAfter(InstSeq seq)
     ++stats_.squashes;
 
     // LSQ first: its slots are shared with the ROB, so only unlink.
+    // Every per-position mask bit dies with its entry here, so no
+    // stale bit can survive into a reused position.
     while (!lsq_.empty() && inst(lsq_.back()).seq > seq) {
         const DynInst &e = inst(lsq_.back());
-        if (e.ti.isStore() && e.addrReady)
-            --readyStores_; // wrong-path store that had completed
+        if (e.ti.isStore()) {
+            if (e.addrReady) {
+                --readyStores_; // wrong-path store that had completed
+                storeAddrMask_.clear(e.lsqPos);
+            } else {
+                unknownStoreMask_.clear(e.lsqPos);
+            }
+        } else {
+            blockedLoadMask_.clear(e.lsqPos);
+        }
         lsq_.pop_back();
     }
 
@@ -87,8 +102,11 @@ Core::squashAfter(InstSeq seq)
             std::uint32_t slot = q.back();
             q.pop_back();
             DynInst &di = inst(slot);
-            if (di.inWindow)
+            if (di.inWindow) {
                 clearReady(di); // position will be reused
+                if (di.ti.hasDest)
+                    prodTab_.erase(di.seq);
+            }
             ++stats_.squashedInsts;
             freeSlot(slot);
         }
@@ -97,10 +115,8 @@ Core::squashAfter(InstSeq seq)
     drop_young(dispatchQ_);
     drop_young(rob_);
 
-    std::erase_if(blockedLoads_,
-                  [seq](InstSeq s) { return s > seq; });
-    // Writeback-calendar events and unknownStores_ entries are
-    // validated lazily against the slot pool (slotOf).
+    // Writeback-calendar events are validated lazily against the slot
+    // pool (slotOf).
 
     deps_.controller->squashYoungerThan(seq);
     releaseBlockedLoads();

@@ -5,25 +5,11 @@
  */
 
 #include "common/logging.hh"
+#include "common/prefetch.hh"
 #include "core.hh"
 
 namespace stsim
 {
-
-void
-Core::nextFetchInst(TraceInst &out)
-{
-    if (fetchMode_ == FetchMode::WrongPath) {
-        out = wrongCursor_->next();
-        stsim_assert(out.pc == fetchPc_, "wrong-path fetch desync");
-        return;
-    }
-    out = deps_.workload->next();
-    stsim_assert(out.pc == fetchPc_,
-                 "correct-path fetch desync: walker %#llx fetch %#llx",
-                 static_cast<unsigned long long>(out.pc),
-                 static_cast<unsigned long long>(fetchPc_));
-}
 
 std::optional<Addr>
 Core::processControl(DynInst &di)
@@ -147,11 +133,13 @@ Core::fetchStage()
         return; // backpressure from a stalled decode stage
 
     const unsigned line_bits = 5; // 32-byte lines (Table 3)
+    const unsigned line_insts = 1u << (line_bits - 2);
     unsigned fetched = 0;
     unsigned taken_branches = 0;
     Addr cur_line = kInvalidAddr;
+    bool stop = false;
 
-    while (fetched < cfg_.fetchWidth) {
+    while (!stop && fetched < cfg_.fetchWidth) {
         const bool wp = fetchMode_ == FetchMode::WrongPath;
         Addr line = fetchPc_ >> line_bits;
         if (line != cur_line) {
@@ -169,30 +157,69 @@ Core::fetchStage()
             }
         }
 
-        std::uint32_t slot = allocSlot();
-        DynInst &di = inst(slot);
-        nextFetchInst(di.ti); // generate straight into the slot
-        di.seq = nextSeq_++;
-        di.wrongPath = wp;
-        di.decodeReady = now_ + cfg_.fetchStages;
-        insertSeqSlot(di.seq, slot);
-        ++inflightCount_;
-        fetchQ_.push_back(slot);
-        ++stats_.fetchedInsts;
-        if (wp)
-            ++stats_.fetchedWrongPath;
-        ++fetched;
+        // Batched generation: fill up to the line boundary (a group
+        // never spans an icache line, so the per-line access above
+        // stays once-per-line) straight into freshly popped slots.
+        // The generator stops after a block terminator, so a branch
+        // can only be the group's last instruction -- fetch mode and
+        // PC handling run between groups, exactly as the serial loop
+        // interleaved them.
+        const unsigned line_room =
+            line_insts - ((fetchPc_ >> 2) & (line_insts - 1));
+        unsigned navail = cfg_.fetchWidth - fetched;
+        if (navail > line_room)
+            navail = line_room;
+        std::uint32_t group[8];
+        TraceInst *tis[8];
+        for (unsigned i = 0; i < navail; ++i) {
+            group[i] = allocSlotRaw();
+            tis[i] = &slots_[group[i]].ti;
+        }
+        const unsigned m = wp ? wrongCursor_->nextGroup(tis, navail)
+                              : deps_.workload->nextGroup(tis, navail);
+        // Unused slots go back in reverse pop order, restoring the
+        // free stack exactly as if they were never allocated.
+        for (unsigned i = navail; i-- > m;)
+            freeSlots_.push_back(group[i]);
+        ++hot_.fetchGroups;
+        stsim_dbg_assert(tis[0]->pc == fetchPc_,
+                     "fetch desync: walker %#llx fetch %#llx",
+                     static_cast<unsigned long long>(tis[0]->pc),
+                     static_cast<unsigned long long>(fetchPc_));
 
-        if (di.ti.isBranch()) {
-            auto cont = processControl(di);
-            if (!cont)
-                break;
-            fetchPc_ = *cont;
-            if (di.pred.predTaken &&
-                ++taken_branches >= cfg_.maxTakenBranchesPerFetch)
-                break; // Table 3: up to 2 taken branches per cycle
-        } else {
-            fetchPc_ += 4;
+        for (unsigned i = 0; i < m; ++i) {
+            const std::uint32_t slot = group[i];
+            DynInst &di = inst(slot);
+            di.reset(); // deferred from allocSlotRaw; ti already live
+            di.seq = nextSeq_++;
+            di.wrongPath = wp;
+            di.decodeReady = now_ + cfg_.fetchStages;
+            insertSeqSlot(di.seq, slot);
+            ++inflightCount_;
+            fetchQ_.push_back(slot);
+            ++stats_.fetchedInsts;
+            if (wp)
+                ++stats_.fetchedWrongPath;
+            ++fetched;
+
+            if (di.ti.isBranch()) {
+                stsim_dbg_assert(i + 1 == m,
+                             "branch mid-group (terminator must end "
+                             "the group)");
+                auto cont = processControl(di);
+                if (!cont) {
+                    stop = true;
+                    break;
+                }
+                fetchPc_ = *cont;
+                if (di.pred.predTaken &&
+                    ++taken_branches >= cfg_.maxTakenBranchesPerFetch) {
+                    stop = true; // Table 3: up to 2 taken per cycle
+                    break;
+                }
+            } else {
+                fetchPc_ += 4;
+            }
         }
     }
 }

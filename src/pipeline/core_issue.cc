@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/prefetch.hh"
 #include "core.hh"
 
 namespace stsim
@@ -31,7 +32,9 @@ Core::issueStage()
     while (issued < cfg_.issueWidth &&
            (pos = nextReadyPos(pos, end)) != kInvalidSeq) {
         DynInst &di = inst(rob_[pos - robBasePos_]);
-        stsim_assert(di.inWindow && !di.issued && !di.waitingOn,
+        if (pos + 1 < end) // walk-ahead: next window slot
+            STSIM_PREFETCH(&slots_[rob_[pos + 1 - robBasePos_]]);
+        stsim_dbg_assert(di.inWindow && !di.issued && !di.waitingOn,
                      "stale ready bit for seq %llu",
                      static_cast<unsigned long long>(di.seq));
 
@@ -44,7 +47,9 @@ Core::issueStage()
             break;
         }
 
-        FuType fu = fuTypeFor(di.ti.cls);
+        // FU class cached at dispatch: deferred retries (FU-starved
+        // entries revisited every cycle) no longer recompute it.
+        const FuType fu = di.fu;
         if (!fuPool_.available(fu)) {
             ++pos; // deferred: bit stays set for a later cycle
             continue;
@@ -52,7 +57,7 @@ Core::issueStage()
 
         if (di.ti.isLoad() && !loadMayIssue(di)) {
             ++stats_.loadsBlockedByStore;
-            blockedLoads_.push_back(di.seq);
+            blockedLoadMask_.set(di.lsqPos);
             clearReady(di);
             ++pos;
             continue;
@@ -132,6 +137,8 @@ Core::writebackStage()
 
         while (b.pending() && done < cfg_.issueWidth) {
             InstSeq seq = b.ev[b.head];
+            if (b.head + 1 < b.ev.size()) // walk-ahead: next event
+                STSIM_PREFETCH(&slots_[seqSlot_[b.ev[b.head + 1]]]);
             auto slot = slotOf(seq);
             if (!slot) {
                 ++b.head; // squashed in flight
@@ -153,22 +160,21 @@ Core::writebackStage()
 void
 Core::completeInst(DynInst &di)
 {
-    stsim_assert(di.issued && !di.completed,
+    stsim_dbg_assert(di.issued && !di.completed,
                  "bogus writeback event for seq %llu",
                  static_cast<unsigned long long>(di.seq));
     di.completed = true;
     deps_.power->record(PUnit::ResultBus, 1, di.wrongPath ? 1 : 0);
+    if (di.ti.hasDest)
+        prodTab_.erase(di.seq); // no longer a live producer
 
     wakeConsumers(di);
 
     if (di.ti.isStore()) {
         di.addrReady = true;
         ++readyStores_;
-        // Settle the unknown-store prefix now, not just on load
-        // issue: without this a load-free phase would grow
-        // unknownStores_ for the whole run (it is append-only at
-        // dispatch and reclaimed only through minUnknownStore).
-        minUnknownStore();
+        unknownStoreMask_.clear(di.lsqPos);
+        storeAddrMask_.set(di.lsqPos);
         releaseBlockedLoads();
     }
 

@@ -174,6 +174,7 @@ loadInst(serde::StateReader &r, DynInst &di)
     di.ti.taken = r.boolean("taken");
     di.ti.target = r.u64("target");
     di.ti.npc = r.u64("npc");
+    di.fu = fuTypeFor(di.ti.cls); // derived, not serialized
     di.windowPos = r.u64("window_pos");
     di.lsqPos = r.u64("lsq_pos");
     di.decodeReady = r.u64("decode_ready");
@@ -278,12 +279,22 @@ Core::saveState(serde::StateWriter &w) const
         w.end("wb_bucket");
     }
 
-    // Unknown-store list: only the unsettled suffix is state.
-    std::vector<InstSeq> us(unknownStores_.begin() +
-                                static_cast<std::ptrdiff_t>(usHead_),
-                            unknownStores_.end());
+    // Unknown-store and blocked-load sets live in LSQ-position masks;
+    // the snapshot keeps the original seq-vector encoding (mask bits
+    // walked in ascending position order == ascending seq order).
+    const std::uint64_t lsq_end = lsqBasePos_ + lsq_.size();
+    std::vector<InstSeq> us;
+    unknownStoreMask_.forEachSet(lsqBasePos_, lsq_end,
+                                 [&](std::uint64_t pos) {
+        us.push_back(slots_[lsq_[pos - lsqBasePos_]].seq);
+    });
     w.u64Vec("unknown_stores", us);
-    w.u64Vec("blocked_loads", blockedLoads_);
+    std::vector<InstSeq> bl;
+    blockedLoadMask_.forEachSet(lsqBasePos_, lsq_end,
+                                [&](std::uint64_t pos) {
+        bl.push_back(slots_[lsq_[pos - lsqBasePos_]].seq);
+    });
+    w.u64Vec("blocked_loads", bl);
 
     w.u64("fetch_mode", static_cast<std::uint64_t>(fetchMode_));
     w.boolean("has_wrong_cursor", wrongCursor_.has_value());
@@ -380,13 +391,41 @@ Core::loadState(serde::StateReader &r)
         }
     }
 
-    unknownStores_.clear();
-    for (std::uint64_t s : r.u64Vec("unknown_stores"))
-        unknownStores_.push_back(s);
-    usHead_ = 0;
-    blockedLoads_.clear();
-    for (std::uint64_t s : r.u64Vec("blocked_loads"))
-        blockedLoads_.push_back(s);
+    // Rebuild the per-position masks. Unknown/address-ready stores are
+    // fully derivable from the restored LSQ (the saved unknown_stores
+    // vector is read for format compatibility and may contain stale
+    // seqs from older writers); blockedness is real state, restored
+    // from the saved seq list.
+    unknownStoreMask_.reset();
+    storeAddrMask_.reset();
+    blockedLoadMask_.reset();
+    for (std::size_t i = 0; i < lsq_.size(); ++i) {
+        const DynInst &di = slots_[lsq_[i]];
+        const std::uint64_t pos = lsqBasePos_ + i;
+        if (di.ti.isStore()) {
+            if (di.addrReady)
+                storeAddrMask_.set(pos);
+            else
+                unknownStoreMask_.set(pos);
+        }
+    }
+    (void)r.u64Vec("unknown_stores");
+    for (std::uint64_t s : r.u64Vec("blocked_loads")) {
+        auto slot = slotOf(s);
+        if (!slot || !slots_[*slot].ti.isLoad() ||
+            !slots_[*slot].inWindow)
+            stsim_fatal("state: blocked load %llu is not a live "
+                        "in-window load",
+                        static_cast<unsigned long long>(s));
+        blockedLoadMask_.set(slots_[*slot].lsqPos);
+    }
+
+    // Rebuild the last-producer table from the restored window.
+    prodTab_.init(cfg_.ruuSize * 2);
+    forEachLiveProducer([this](InstSeq seq, std::uint32_t slot) {
+        prodTab_.insert(seq, slot,
+                        [this](auto &&fn) { forEachLiveProducer(fn); });
+    });
 
     std::uint64_t mode = r.u64("fetch_mode");
     if (mode > static_cast<std::uint64_t>(FetchMode::WaitBranch))

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bpred/bpred_unit.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "confidence/estimator.hh"
 #include "trace/instruction.hh"
@@ -48,10 +49,15 @@ fuTypeFor(InstClass cls)
  * One in-flight instruction. Lives in a fixed slot pool; flows through
  * the fetch pipe, decode pipe and RUU by slot index.
  *
- * Field order is deliberate: seq (the slotOf validation word), the
- * status flags and the inline wakeup list share the leading cache
- * line, so the dependence-resolution path touches one line per
- * producer. Cold spill state lives at the tail.
+ * Field order is deliberate: the whole struct is 192 bytes (three
+ * cache lines) and the leading line holds everything the reset,
+ * dependence-resolution and wakeup paths touch -- seq (the slotOf
+ * validation word), the status flags and the complete wakeup list
+ * (inline slots plus the rare spill vector's header). Consumers are
+ * stored as 32-bit deltas from the producer's seq: two fit per inline
+ * InstSeq slot, and the in-flight seq span is bounded far below 2^32
+ * (the no-commit watchdog fires long before fetch could run the seq
+ * counter that far past a live producer).
  */
 struct alignas(64) DynInst
 {
@@ -77,25 +83,39 @@ struct alignas(64) DynInst
      *  producer, so the common case never touches a heap buffer. */
     static constexpr std::size_t kInlineConsumers = 4;
     std::uint8_t consumerCount = 0; ///< entries in consumersInline
-    InstSeq consumersInline[kInlineConsumers];
+
+    /** FU class, cached at dispatch so issue's deferred-retry path
+     *  (FU-starved entries revisited every cycle) reads one byte
+     *  instead of re-deriving it from the instruction class. */
+    FuType fu = FuType::IntAlu;
+
+    ConfLevel conf = ConfLevel::VHC;
+
+    std::uint32_t consumersInline[kInlineConsumers]; ///< seq deltas
+
+    std::vector<std::uint32_t> consumersOverflow; ///< rare spill
 
     void
-    addConsumer(InstSeq seq)
+    addConsumer(InstSeq cs)
     {
+        stsim_dbg_assert(cs > seq && cs - seq < UINT32_MAX,
+                     "consumer delta out of range");
+        const auto d = static_cast<std::uint32_t>(cs - seq);
         if (consumerCount < kInlineConsumers)
-            consumersInline[consumerCount++] = seq;
+            consumersInline[consumerCount++] = d;
         else
-            consumersOverflow.push_back(seq);
+            consumersOverflow.push_back(d);
     }
 
+    /** Visit consumer seqs (absolute, reconstructed from deltas). */
     template <typename Fn>
     void
     forEachConsumer(Fn &&fn) const
     {
         for (std::uint8_t i = 0; i < consumerCount; ++i)
-            fn(consumersInline[i]);
-        for (InstSeq s : consumersOverflow)
-            fn(s);
+            fn(seq + consumersInline[i]);
+        for (std::uint32_t d : consumersOverflow)
+            fn(seq + d);
     }
 
     void
@@ -117,13 +137,7 @@ struct alignas(64) DynInst
     Cycle completeAt = 0;    ///< cycle its result is available
     /// @}
 
-    /// @name Branch state
-    /// @{
     BranchPrediction pred;
-    ConfLevel conf = ConfLevel::VHC;
-    /// @}
-
-    std::vector<InstSeq> consumersOverflow; ///< rare wakeup spill
 
     /**
      * Reset for slot reuse (keeps consumer vector capacity). Only the

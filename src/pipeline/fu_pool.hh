@@ -29,6 +29,8 @@ class FuPool
             cfg.numMemPorts;
         limit_[static_cast<std::size_t>(FuType::FpAlu)] = cfg.numFpAlu;
         limit_[static_cast<std::size_t>(FuType::FpMult)] = cfg.numFpMult;
+        for (auto l : limit_)
+            total_ += l;
     }
 
     /** Start a new cycle. */
@@ -57,19 +59,14 @@ class FuPool
         return limit_[static_cast<std::size_t>(type)];
     }
 
-    /** Total configured units across classes. */
-    unsigned
-    totalUnits() const
-    {
-        unsigned t = 0;
-        for (auto l : limit_)
-            t += l;
-        return t;
-    }
+    /** Total configured units across classes (cached at
+     *  construction). */
+    unsigned totalUnits() const { return total_; }
 
   private:
     std::array<unsigned, kNumFuTypes> limit_{};
     std::array<unsigned, kNumFuTypes> used_{};
+    unsigned total_ = 0;
 };
 
 } // namespace stsim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Last-producer table for dispatch-time dependence resolution: a
+ * rename-map-style direct-mapped ring from producer seq to slot index.
+ *
+ * dispatchStage resolves each source operand as seq math
+ * (producer = consumer seq - srcDist), so the question it asks is
+ * exactly "is that seq a live producer, and in which slot?". The table
+ * holds one entry per in-window, incomplete, destination-writing
+ * instruction: inserted at dispatch, erased at completion and on
+ * squash. Because dispatch is strictly in order, any older seq not in
+ * the table has either completed, committed or been squashed -- i.e.
+ * its value is ready -- so a miss needs no further probing.
+ *
+ * Exactness uses the same grow-on-collision discipline as SeqRing: a
+ * cell stores the owning seq alongside the slot, a lookup only trusts
+ * a cell whose seq matches, and an insert that would evict a live
+ * aliasing entry first doubles the table (rebuilt from the owner's
+ * live-producer enumeration) until every live producer owns its cell.
+ */
+
+#ifndef STSIM_PIPELINE_PRODUCER_TABLE_HH
+#define STSIM_PIPELINE_PRODUCER_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace stsim
+{
+
+class ProducerTable
+{
+  public:
+    /** Returned by lookup when @p seq is not a live producer. */
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /** (Re)initialize with the smallest power-of-two cell count
+     *  >= @p min_cells; all cells vacant. */
+    void
+    init(std::size_t min_cells)
+    {
+        std::size_t cells = 2;
+        while (cells < min_cells)
+            cells <<= 1;
+        cells_.assign(cells, Entry{});
+        mask_ = cells - 1;
+    }
+
+    /** Slot of live producer @p seq, or kNoSlot. One indexed load plus
+     *  a seq compare -- the dispatch resolve fast path. */
+    std::uint32_t
+    lookup(InstSeq seq) const
+    {
+        const Entry &e = cells_[seq & mask_];
+        return e.seq == seq ? e.slot : kNoSlot;
+    }
+
+    /**
+     * Publish live producer @p seq -> @p slot when its cell is free or
+     * already its own; returns false on a collision with a different
+     * live producer (the caller grows via insert()). Split from
+     * insert() so the dispatch fast path inlines without dragging the
+     * rebuild machinery into the hot loop.
+     */
+    bool
+    tryInsert(InstSeq seq, std::uint32_t slot)
+    {
+        Entry &e = cells_[seq & mask_];
+        if (e.seq != kInvalidSeq && e.seq != seq)
+            return false;
+        e.seq = seq;
+        e.slot = slot;
+        return true;
+    }
+
+    /**
+     * Publish live producer @p seq -> @p slot. When the cell is owned
+     * by a different live producer (seq aliasing under the current
+     * mask), the table doubles until no two live producers collide,
+     * refilled from @p forEachLive (invokes fn(InstSeq, slot) per live
+     * producer).
+     */
+    template <typename ForEachLive>
+    void
+    insert(InstSeq seq, std::uint32_t slot, ForEachLive &&forEachLive)
+    {
+        while (!tryInsert(seq, slot))
+            grow(forEachLive); // would evict a live entry: rebuild
+    }
+
+    /** Retire @p seq (completed or squashed); no-op when absent. */
+    void
+    erase(InstSeq seq)
+    {
+        Entry &e = cells_[seq & mask_];
+        if (e.seq == seq)
+            e.seq = kInvalidSeq;
+    }
+
+    std::size_t cellCount() const { return cells_.size(); }
+
+  private:
+    struct Entry
+    {
+        InstSeq seq = kInvalidSeq;
+        std::uint32_t slot = 0;
+    };
+
+    template <typename ForEachLive>
+    void
+    grow(ForEachLive &&forEachLive)
+    {
+        std::size_t n = cells_.size();
+        for (;;) {
+            n <<= 1;
+            std::vector<Entry> fresh(n, Entry{});
+            const InstSeq mask = n - 1;
+            bool ok = true;
+            forEachLive([&](InstSeq seq, std::uint32_t slot) {
+                Entry &e = fresh[seq & mask];
+                if (e.seq != kInvalidSeq)
+                    ok = false; // two live producers still collide
+                e.seq = seq;
+                e.slot = slot;
+            });
+            if (!ok)
+                continue;
+            cells_ = std::move(fresh);
+            mask_ = mask;
+            return;
+        }
+    }
+
+    std::vector<Entry> cells_;
+    InstSeq mask_ = 1;
+};
+
+} // namespace stsim
+
+#endif // STSIM_PIPELINE_PRODUCER_TABLE_HH

@@ -37,9 +37,7 @@ PowerModel::PowerModel(const PowerParams &params)
                              ? peakDt_[i]
                              : peakDt_[i] * idleFactor_;
     }
-    endCycleFn_ = params_.style == ClockGatingStyle::cc0
-                      ? &PowerModel::endCycleImpl<ClockGatingStyle::cc0>
-                      : &PowerModel::endCycleImpl<ClockGatingStyle::cc3>;
+    cc0_ = params_.style == ClockGatingStyle::cc0;
 }
 
 template <ClockGatingStyle Style>
@@ -68,7 +66,6 @@ PowerModel::endCycleImpl()
         double act = cnt * invPorts_[i];
         if (act > 1.0)
             act = 1.0;
-        const double wrong_frac = cnt > 0 ? wrong / cnt : 0.0;
 
         const double e = Style == ClockGatingStyle::cc0
                              ? peakDt_[i]
@@ -76,12 +73,17 @@ PowerModel::endCycleImpl()
                                              activeFactor_ * act);
         // Wrong-path instructions own their proportional share of the
         // unit's whole dissipation this cycle (the paper's Table 1
-        // accounting); idle cycles attribute to nobody.
-        const double wasted = e * wrong_frac;
+        // accounting); idle cycles attribute to nobody. When wrong is
+        // zero the share is exactly +0.0 and both accumulations are
+        // bit-exact no-ops, so the divide (the expensive op in this
+        // loop) runs only on cycles with wrong-path activity.
+        if (wrong > 0.0 && cnt > 0.0) {
+            const double wasted = e * (wrong / cnt);
+            unitWasted_[i] += wasted;
+            totalWasted_ += wasted;
+        }
 
         unitEnergyAcc_[i] += e;
-        unitWasted_[i] += wasted;
-        totalWasted_ += wasted;
         activitySum_[i] += act;
         ++touchedCycles_[i];
 
@@ -94,22 +96,27 @@ PowerModel::endCycleImpl()
     // waste attribution follows the global wrong-path activity share.
     {
         const double act = act_sum * invMetered_;
-        const double wrong_frac =
-            total_cnt > 0 ? total_wrong / total_cnt : 0.0;
         const double e = Style == ClockGatingStyle::cc0
                              ? peakDt_[kClockIdx]
                              : peakDt_[kClockIdx] *
                                    (idleFactor_ + activeFactor_ * act);
-        const double wasted = e * wrong_frac;
+        if (total_wrong > 0.0 && total_cnt > 0.0) {
+            const double wasted = e * (total_wrong / total_cnt);
+            unitWasted_[kClockIdx] += wasted;
+            totalWasted_ += wasted;
+        }
         unitEnergyAcc_[kClockIdx] += e;
-        unitWasted_[kClockIdx] += wasted;
-        totalWasted_ += wasted;
         activitySum_[kClockIdx] += act;
         ++touchedCycles_[kClockIdx];
     }
 
     ++cycles_;
 }
+
+// endCycle() selects the instantiation by branch; force both here so
+// the out-of-line template bodies exist in this translation unit.
+template void PowerModel::endCycleImpl<ClockGatingStyle::cc0>();
+template void PowerModel::endCycleImpl<ClockGatingStyle::cc3>();
 
 double
 PowerModel::totalEnergy() const

@@ -41,9 +41,9 @@ class StateReader;
  * to nobody).
  *
  * Hot-path structure: per-unit peak*dt and 1/ports are precomputed,
- * the cc0/cc3 branch is resolved once at construction (member-
- * function-pointer specialization), and endCycle() only visits units
- * actually recorded this cycle (dirty mask). A unit that was not
+ * the cc0/cc3 style is resolved once at construction (endCycle()
+ * branches to the matching specialization), and endCycle() only
+ * visits units actually recorded this cycle (dirty mask). A unit that was not
  * touched dissipates a constant per-cycle idle energy, which is
  * accounted lazily from its untouched-cycle count when results are
  * read, so idle cycles cost no floating-point work at all.
@@ -65,7 +65,7 @@ class PowerModel
     record(PUnit unit, double count, double wrong_count = 0.0)
     {
         auto i = static_cast<std::size_t>(unit);
-        stsim_assert(wrong_count <= count + 1e-9,
+        stsim_dbg_assert(wrong_count <= count + 1e-9,
                      "wrong_count %f > count %f on %s", wrong_count,
                      count, punitName(unit));
         cycleCount_[i] += count;
@@ -73,8 +73,18 @@ class PowerModel
         dirty_ |= std::uint32_t{1} << i;
     }
 
-    /** Close the cycle: convert activity to power and accumulate. */
-    void endCycle() { (this->*endCycleFn_)(); }
+    /** Close the cycle: convert activity to power and accumulate. The
+     *  gating style is fixed at construction, so this is a perfectly
+     *  predicted branch (and LTO-inlinable) instead of an indirect
+     *  member call on the per-cycle path. */
+    void
+    endCycle()
+    {
+        if (cc0_)
+            endCycleImpl<ClockGatingStyle::cc0>();
+        else
+            endCycleImpl<ClockGatingStyle::cc3>();
+    }
 
     /// @name Results
     /// @{
@@ -121,8 +131,6 @@ class PowerModel
   private:
     template <ClockGatingStyle Style> void endCycleImpl();
 
-    using EndCycleFn = void (PowerModel::*)();
-
     PowerParams params_;
 
     /// @name Per-cycle scratch (consumed and cleared by endCycle)
@@ -134,7 +142,7 @@ class PowerModel
 
     /// @name Constants precomputed at construction
     /// @{
-    EndCycleFn endCycleFn_;
+    bool cc0_ = false; ///< gating style resolved at construction
     std::array<double, kNumPUnits> invPorts_{};
     std::array<double, kNumPUnits> peakDt_{};    ///< peak * dt
     std::array<double, kNumPUnits> idleCycleE_{}; ///< untouched-cycle energy

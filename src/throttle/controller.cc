@@ -161,7 +161,7 @@ SpeculationController::onCondBranchFetched(InstSeq seq, ConfLevel lvl)
 {
     if (cfg_.mode == SpecControlMode::None)
         return;
-    stsim_assert(tail_ == head_ || at(tail_ - 1).seq < seq,
+    stsim_dbg_assert(tail_ == head_ || at(tail_ - 1).seq < seq,
                  "branches must arrive in fetch order");
     if (tail_ - head_ == buf_.size())
         rebuildBuffer(liveCount_ + 1);

@@ -301,6 +301,45 @@ WrongPathCursor::saveState(serde::StateWriter &w) const
     w.end("wrong_cursor");
 }
 
+Addr
+WrongPathCursor::wrongPathMem(const StaticOp &op)
+{
+    // Stateless address approximation with the same locality class;
+    // the architectural stream cursors are untouched.
+    const BenchmarkProfile &p = program_->profile();
+    Addr span = op.regionSize;
+    if (op.memPattern == MemPattern::Random &&
+        rng_.chance(p.hotDataFrac)) {
+        span = static_cast<Addr>(p.hotDataKB) * 1024;
+    } else if (op.memPattern == MemPattern::Stream) {
+        span = op.stride * 64u; // local window of the array
+    }
+    if (span > op.regionSize)
+        span = op.regionSize;
+    return op.regionBase + 8 * rng_.below(span / 8);
+}
+
+unsigned
+WrongPathCursor::nextGroup(TraceInst *const *out, unsigned n)
+{
+    const StaticBlock &b = program_->block(curBlock_);
+    const std::uint32_t nops =
+        static_cast<std::uint32_t>(b.ops.size());
+    std::uint32_t oi = opIdx_;
+    unsigned m = 0;
+    while (m < n && oi < nops) {
+        const StaticOp &op = b.ops[oi];
+        Addr mem = isMemory(op.cls) ? wrongPathMem(op) : 0;
+        *out[m] = detail::makeBodyInst(b, oi, mem);
+        ++m;
+        ++oi;
+    }
+    opIdx_ = oi;
+    if (m < n) // terminator: reuse the scalar slow path
+        *out[m++] = next();
+    return m;
+}
+
 TraceInst
 WrongPathCursor::next()
 {
@@ -308,22 +347,7 @@ WrongPathCursor::next()
 
     if (opIdx_ < b.ops.size()) {
         const StaticOp &op = b.ops[opIdx_];
-        Addr mem = 0;
-        if (isMemory(op.cls)) {
-            // Stateless address approximation with the same locality
-            // class; the architectural stream cursors are untouched.
-            const BenchmarkProfile &p = program_->profile();
-            Addr span = op.regionSize;
-            if (op.memPattern == MemPattern::Random &&
-                rng_.chance(p.hotDataFrac)) {
-                span = static_cast<Addr>(p.hotDataKB) * 1024;
-            } else if (op.memPattern == MemPattern::Stream) {
-                span = op.stride * 64u; // local window of the array
-            }
-            if (span > op.regionSize)
-                span = op.regionSize;
-            mem = op.regionBase + 8 * rng_.below(span / 8);
-        }
+        Addr mem = isMemory(op.cls) ? wrongPathMem(op) : 0;
         TraceInst ti = detail::makeBodyInst(b, opIdx_, mem);
         ++opIdx_;
         return ti;

@@ -53,6 +53,19 @@ class Workload
      */
     TraceInst next();
 
+    /**
+     * Bulk path for the fetch unit: fill up to @p n instructions
+     * through the pointers in @p out (one per destination slot, so the
+     * group lands straight in the pipeline's slot pool with no copy).
+     * Stops early after emitting a block terminator -- the caller's
+     * control handling runs between groups -- so the return value m is
+     * in [1, n] and out[m-1] is the only possible branch. Produces the
+     * byte-identical stream (same RNG consumption, same generated()
+     * count) as m successive next() calls; the block lookup is hoisted
+     * out of the per-instruction loop.
+     */
+    unsigned nextGroup(TraceInst *const *out, unsigned n);
+
     /** Architectural global branch-outcome history (LSB = most recent). */
     std::uint64_t globalHistory() const { return globalHist_; }
 
@@ -120,10 +133,17 @@ class WrongPathCursor
     /** Generate the next wrong-path instruction. */
     TraceInst next();
 
+    /** Bulk path mirroring Workload::nextGroup: same stream, same RNG
+     *  consumption as successive next() calls. */
+    unsigned nextGroup(TraceInst *const *out, unsigned n);
+
     /** Checkpoint the cursor (pairs with the restore constructor). */
     void saveState(serde::StateWriter &w) const;
 
   private:
+    /** Stateless wrong-path address approximation for one memory op. */
+    Addr wrongPathMem(const StaticOp &op);
+
     const StaticProgram *program_;
     Rng rng_;
     std::uint32_t curBlock_;
@@ -168,6 +188,31 @@ Workload::next()
         return ti;
     }
     return nextTerminator(b);
+}
+
+inline unsigned
+Workload::nextGroup(TraceInst *const *out, unsigned n)
+{
+    const StaticBlock &b = program_->block(curBlock_);
+    const std::uint32_t nops =
+        static_cast<std::uint32_t>(b.ops.size());
+    std::uint32_t oi = opIdx_;
+    unsigned m = 0;
+    while (m < n && oi < nops) {
+        const StaticOp &op = b.ops[oi];
+        Addr mem = isMemory(op.cls) ? memAddress(op) : 0;
+        *out[m] = detail::makeBodyInst(b, oi, mem);
+        ++m;
+        ++oi;
+    }
+    opIdx_ = oi;
+    generated_ += m;
+    if (m < n) { // room left in the group: emit the terminator
+        ++generated_;
+        *out[m] = nextTerminator(b);
+        ++m;
+    }
+    return m;
 }
 
 } // namespace stsim

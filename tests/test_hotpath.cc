@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Randomized equivalence tests for the bitmask-first hot path: the
+ * last-producer table against the slotOf-probe reference semantics,
+ * the two-level ScanMask against a brute-force bit set, and the
+ * batched nextGroup walkers against serial next() streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/scan_mask.hh"
+#include "pipeline/producer_table.hh"
+#include "trace/profile.hh"
+#include "trace/static_program.hh"
+#include "trace/workload.hh"
+
+using namespace stsim;
+
+namespace
+{
+
+std::shared_ptr<const StaticProgram>
+hotpathProgram(std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = "hotpath";
+    p.numBlocks = 96;
+    p.numFuncs = 10;
+    p.condBranchFrac = 0.14;
+    p.seed = seed;
+    return std::make_shared<const StaticProgram>(p);
+}
+
+/**
+ * Reference model for the producer table: the exact map from live
+ * producer seq to slot. "Live" means dispatched, has a destination,
+ * and not yet completed/erased — the same population the core keeps
+ * in the table via insert-at-dispatch / erase-at-complete-or-squash.
+ */
+struct ProducerRef
+{
+    std::map<InstSeq, std::uint32_t> live;
+
+    void
+    forEachLive(const std::function<void(InstSeq, std::uint32_t)> &fn)
+        const
+    {
+        for (const auto &[seq, slot] : live)
+            fn(seq, slot);
+    }
+};
+
+bool
+sameInst(const TraceInst &a, const TraceInst &b)
+{
+    return a.pc == b.pc && a.cls == b.cls &&
+           a.srcDist[0] == b.srcDist[0] &&
+           a.srcDist[1] == b.srcDist[1] && a.hasDest == b.hasDest &&
+           a.memAddr == b.memAddr && a.taken == b.taken &&
+           a.target == b.target && a.npc == b.npc;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ProducerTable vs reference map
+// ---------------------------------------------------------------------
+
+/// Forced-tiny initial table so random traffic exercises the
+/// grow-on-collision and wrap paths, mirroring the controller
+/// equivalence pattern: drive both models with one event stream and
+/// compare after every step.
+TEST(ProducerTable, RandomizedEquivalenceWithTinyTable)
+{
+    Rng rng(0x9e3779b97f4a7c15ull);
+    ProducerTable tab;
+    tab.init(2); // far below any realistic window: forces growth
+    ProducerRef ref;
+
+    InstSeq next_seq = 1;
+    std::vector<InstSeq> active; // insertion order, oldest first
+
+    auto checkAll = [&] {
+        // Every live producer must hit with its exact slot...
+        for (const auto &[seq, slot] : ref.live)
+            ASSERT_EQ(tab.lookup(seq), slot) << "seq " << seq;
+        // ...and a sample of dead/never-inserted seqs must miss.
+        for (int i = 0; i < 8; ++i) {
+            InstSeq probe = rng.below(next_seq + 64);
+            if (!ref.live.count(probe))
+                ASSERT_EQ(tab.lookup(probe), ProducerTable::kNoSlot)
+                    << "stale hit for seq " << probe;
+        }
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 55 || active.empty()) {
+            // Dispatch: in-order seq assignment, arbitrary slot.
+            const InstSeq seq = next_seq++;
+            const auto slot = static_cast<std::uint32_t>(rng.below(256));
+            ref.live.emplace(seq, slot);
+            active.push_back(seq);
+            tab.insert(seq, slot, [&](auto &&fn) {
+                ref.forEachLive(fn);
+            });
+        } else if (roll < 85) {
+            // Complete: erase a random live producer.
+            const std::size_t i = rng.below(active.size());
+            const InstSeq seq = active[i];
+            active.erase(active.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            ref.live.erase(seq);
+            tab.erase(seq);
+        } else {
+            // Squash: drop the youngest few, like drop_young().
+            std::uint64_t n = 1 + rng.below(8);
+            while (n-- && !active.empty()) {
+                const InstSeq seq = active.back();
+                active.pop_back();
+                ref.live.erase(seq);
+                tab.erase(seq);
+            }
+        }
+        checkAll();
+    }
+    // The tiny seed table must actually have grown under load.
+    EXPECT_GT(tab.cellCount(), 2u);
+}
+
+/// erase() of a seq that aliases a different live entry's cell must
+/// not disturb that entry (seq-match guard).
+TEST(ProducerTable, EraseIsSeqExact)
+{
+    ProducerTable tab;
+    tab.init(2);
+    ProducerRef ref;
+    ref.live = {{10, 1}};
+    tab.insert(10, 1, [&](auto &&fn) { ref.forEachLive(fn); });
+    // Erase seqs that map to the same cell but were never inserted.
+    for (InstSeq s = 0; s < 64; ++s)
+        if (s != 10)
+            tab.erase(s);
+    EXPECT_EQ(tab.lookup(10), 1u);
+    // Re-inserting the same seq updates in place.
+    tab.insert(10, 7, [&](auto &&fn) {
+        fn(InstSeq{10}, std::uint32_t{7});
+    });
+    EXPECT_EQ(tab.lookup(10), 7u);
+}
+
+// ---------------------------------------------------------------------
+// ScanMask vs brute force
+// ---------------------------------------------------------------------
+
+/// Drive a ScanMask with a sliding window of monotone positions and
+/// compare firstSet()/none()/test() against a brute-force reference on
+/// every step, including wrap of the underlying bit ring.
+TEST(ScanMask, RandomizedEquivalenceAcrossWrap)
+{
+    Rng rng(0xc0ffee5ull);
+    constexpr std::uint64_t kCap = 96; // rounds up to a 128-bit ring
+    ScanMask m;
+    m.init(kCap);
+    ASSERT_GE(m.capacity(), kCap);
+
+    std::uint64_t base = 0, end = 0;    // live window [base, end)
+    std::vector<std::uint64_t> set_pos; // sorted live set positions
+
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 45 && end - base < kCap) {
+            const std::uint64_t pos = end++;
+            if (rng.below(2)) {
+                m.set(pos);
+                set_pos.push_back(pos);
+            }
+        } else if (base < end) {
+            // Retire the oldest position; its bit dies with it.
+            if (!set_pos.empty() && set_pos.front() == base) {
+                m.clear(base);
+                set_pos.erase(set_pos.begin());
+            }
+            ++base;
+        }
+
+        // none() against the reference.
+        ASSERT_EQ(m.none(), set_pos.empty());
+
+        // firstSet from a few random starting points.
+        for (int probe = 0; probe < 4; ++probe) {
+            const std::uint64_t from =
+                base + rng.below(end - base + 1);
+            const std::uint64_t to =
+                from + rng.below(end - from + 1);
+            auto it = std::lower_bound(set_pos.begin(),
+                                       set_pos.end(), from);
+            const std::uint64_t want =
+                (it != set_pos.end() && *it < to) ? *it
+                                                  : ScanMask::kNone;
+            ASSERT_EQ(m.firstSet(from, to), want)
+                << "window [" << from << ", " << to << ")";
+        }
+
+        // test() on a random in-window position.
+        if (base < end) {
+            const std::uint64_t pos = base + rng.below(end - base);
+            const bool want = std::binary_search(set_pos.begin(),
+                                                 set_pos.end(), pos);
+            ASSERT_EQ(m.test(pos), want);
+        }
+    }
+    EXPECT_GT(end, m.capacity()) << "test never wrapped the ring";
+}
+
+TEST(ScanMask, ForEachSetVisitsInOrderAndAllowsClearing)
+{
+    ScanMask m;
+    m.init(64);
+    const std::uint64_t want[] = {3, 17, 40, 63};
+    for (std::uint64_t p : want)
+        m.set(p);
+
+    std::vector<std::uint64_t> got;
+    m.forEachSet(0, 64, [&](std::uint64_t pos) {
+        got.push_back(pos);
+        m.clear(pos); // callback may clear its own bit
+    });
+    ASSERT_EQ(got.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(got[i], want[i]);
+    EXPECT_TRUE(m.none());
+}
+
+// ---------------------------------------------------------------------
+// Batched nextGroup vs serial next()
+// ---------------------------------------------------------------------
+
+/// Two identically-seeded workloads, one walked serially and one in
+/// random-size groups, must produce byte-identical instruction streams
+/// with identical generated() accounting.
+TEST(WorkloadGroups, NextGroupMatchesSerialNext)
+{
+    auto prog = hotpathProgram(11);
+    Workload serial(prog, 42);
+    Workload grouped(prog, 42);
+    Rng rng(123);
+
+    TraceInst buf[8];
+    TraceInst *out[8];
+    for (unsigned i = 0; i < 8; ++i)
+        out[i] = &buf[i];
+
+    for (int iter = 0; iter < 50000;) {
+        const auto n = static_cast<unsigned>(1 + rng.below(8));
+        const unsigned m = grouped.nextGroup(out, n);
+        ASSERT_GE(m, 1u);
+        ASSERT_LE(m, n);
+        for (unsigned i = 0; i < m; ++i) {
+            const TraceInst want = serial.next();
+            ASSERT_TRUE(sameInst(buf[i], want))
+                << "iter " << iter << " pos " << i << " pc "
+                << buf[i].pc << " vs " << want.pc;
+            // A short group may only end at a block terminator.
+            if (m < n)
+                ASSERT_TRUE(i + 1 < m || buf[i].isBranch());
+            ++iter;
+        }
+        ASSERT_EQ(grouped.generated(), serial.generated());
+    }
+}
+
+/// Same stream equivalence for the wrong-path cursor, across several
+/// start addresses and seeds.
+TEST(WorkloadGroups, WrongPathNextGroupMatchesSerialNext)
+{
+    auto prog = hotpathProgram(12);
+    Workload wl(prog, 99);
+    // Advance the architectural walker so cursors inherit real history.
+    for (int i = 0; i < 2000; ++i)
+        wl.next();
+
+    Rng rng(321);
+    for (int trial = 0; trial < 6; ++trial) {
+        const auto &b = prog->block(static_cast<std::uint32_t>(
+            rng.below(prog->numBlocks())));
+        const Addr start = b.pc;
+        const std::uint64_t seed = 0xabcd + trial;
+        WrongPathCursor serial(wl, start, seed);
+        WrongPathCursor grouped(wl, start, seed);
+
+        TraceInst buf[8];
+        TraceInst *out[8];
+        for (unsigned i = 0; i < 8; ++i)
+            out[i] = &buf[i];
+
+        for (int iter = 0; iter < 4000;) {
+            const auto n = static_cast<unsigned>(1 + rng.below(8));
+            const unsigned m = grouped.nextGroup(out, n);
+            ASSERT_GE(m, 1u);
+            ASSERT_LE(m, n);
+            for (unsigned i = 0; i < m; ++i) {
+                const TraceInst want = serial.next();
+                ASSERT_TRUE(sameInst(buf[i], want))
+                    << "trial " << trial << " iter " << iter;
+                ++iter;
+            }
+        }
+    }
+}
